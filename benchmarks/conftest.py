@@ -1,0 +1,10 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs its experiment once (``benchmark.pedantic`` with a single
+round) — these are *result-regeneration* harnesses, not micro-benchmarks, and
+one run of each experiment is what the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables.
+"""

@@ -1,0 +1,196 @@
+"""E1 — address clustering for memory partitioning (paper 1B-1).
+
+Paper claim: on several embedded applications running on an ARM7 core,
+address clustering before partitioning reduces memory energy by **25 % on
+average (57 % maximum)** w.r.t. a partitioned memory synthesized *without*
+clustering.
+
+The regenerated table below reproduces the experiment's structure: a suite
+of embedded applications (ISS kernels plus synthetic fragmented-hot-set
+applications standing in for the paper's proprietary benchmark data), each
+optimized with the full flow, reporting the energy saving of
+clustering+partitioning over partitioning alone.
+
+E1a (figure-like) sweeps the bank count to show the decoder-overhead
+crossover.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core import FlowConfig, MemoryOptimizationFlow, trace_from_kernel
+from repro.core.clustering import IdentityClustering
+from repro.core.layout import BlockLayout
+from repro.partition import OptimalPartitioner, PartitionCostModel, PartitionSpec, simulate_partition
+from repro.report import PaperComparison, render_comparisons, render_table
+from repro.trace import AccessProfile, ScatteredHotGenerator
+
+# The application suite: (label, trace factory, block_size, max_banks).
+# Kernels provide the realistic-trace anchors; the scattered generators stand
+# in for the paper's larger applications with fragmented hot sets (see
+# DESIGN.md substitution table).
+SUITE = [
+    ("aos_field_sum", lambda: trace_from_kernel("aos_field_sum"), 8, 4),
+    ("table_lookup", lambda: trace_from_kernel("table_lookup"), 16, 4),
+    ("matmul", lambda: trace_from_kernel("matmul"), 32, 4),
+    ("fir", lambda: trace_from_kernel("fir"), 32, 4),
+    (
+        "app_frag_small",
+        lambda: ScatteredHotGenerator(400, 40, 20.0, 25000, seed=5).generate(),
+        32,
+        4,
+    ),
+    (
+        "app_frag_medium",
+        lambda: ScatteredHotGenerator(400, 20, 60.0, 25000, seed=6).generate(),
+        32,
+        4,
+    ),
+    (
+        "app_frag_sharp",
+        lambda: ScatteredHotGenerator(500, 12, 200.0, 25000, seed=7).generate(),
+        32,
+        4,
+    ),
+    (
+        "app_frag_wide",
+        lambda: ScatteredHotGenerator(300, 30, 40.0, 25000, seed=8).generate(),
+        32,
+        4,
+    ),
+    (
+        "app_frag_huge",
+        lambda: ScatteredHotGenerator(600, 10, 400.0, 30000, seed=9).generate(),
+        32,
+        4,
+    ),
+    (
+        "app_tight_banks",
+        lambda: ScatteredHotGenerator(2000, 16, 800.0, 30000, seed=13).generate(),
+        32,
+        2,
+    ),
+]
+
+
+def run_suite() -> list[dict]:
+    rows = []
+    for label, factory, block_size, max_banks in SUITE:
+        trace = factory()
+        flow = MemoryOptimizationFlow(
+            FlowConfig(block_size=block_size, max_banks=max_banks, strategy="affinity")
+        ).run(trace)
+        rows.append(
+            {
+                "app": label,
+                "banks": flow.clustered.spec.num_banks,
+                "mono_pj": flow.monolithic.simulated.total,
+                "part_pj": flow.partitioned.simulated.total,
+                "clus_pj": flow.clustered.simulated.total,
+                "saving": flow.saving_vs_partitioned,
+                "saving_mono": flow.saving_vs_monolithic,
+            }
+        )
+    return rows
+
+
+def test_table_e1_clustering_savings(benchmark):
+    """Regenerates the paper's main table: per-application energy savings."""
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    table = render_table(
+        ["application", "banks", "monolithic pJ", "partitioned pJ", "clustered pJ",
+         "saving vs part", "saving vs mono"],
+        [
+            [r["app"], r["banks"], r["mono_pj"], r["part_pj"], r["clus_pj"],
+             f"{r['saving']:.1%}", f"{r['saving_mono']:.1%}"]
+            for r in rows
+        ],
+        title="\nE1: address clustering vs partitioning alone (paper 1B-1)",
+    )
+    savings = [r["saving"] for r in rows]
+    mean_saving = statistics.mean(savings)
+    max_saving = max(savings)
+    comparison = [
+        PaperComparison("E1", "avg energy saving", 0.25, 0.25, mean_saving,
+                        shape_holds=0.10 <= mean_saving <= 0.40),
+        PaperComparison("E1", "max energy saving", 0.57, 0.57, max_saving,
+                        shape_holds=max_saving >= 0.40),
+    ]
+    print(table)
+    print()
+    print(render_comparisons(comparison))
+
+    # Shape assertions: double-digit average, large maximum, all non-negative.
+    assert mean_saving > 0.10
+    assert max_saving > 0.40
+    assert all(s >= -0.01 for s in savings)
+    # Clustering+partitioning always beats monolithic on this suite.
+    assert all(r["saving_mono"] > 0.05 for r in rows)
+
+
+def bank_sweep(max_k: int = 16) -> list[dict]:
+    # A small-footprint application: the per-access decoder overhead crosses
+    # over the shrinking per-bank gains within the swept range.
+    trace = ScatteredHotGenerator(60, 6, 30.0, 20000, seed=6).generate()
+    profile = AccessProfile(trace, block_size=32)
+    layout = IdentityClustering().build_layout(profile)
+    reads, writes = layout.counts_in_order(profile)
+    model = PartitionCostModel(reads=reads, writes=writes, block_size=32)
+    layout_trace = layout.remap_trace(trace)
+    rows = []
+    for k in range(1, max_k + 1):
+        result = OptimalPartitioner(max_banks=max_k).partition(model, num_banks=k)
+        simulated = simulate_partition(result.spec, layout_trace)
+        rows.append({"banks": k, "energy": simulated.total})
+    return rows
+
+
+def test_figure_e1a_bank_sweep(benchmark):
+    """Figure-like series: energy vs bank count shows an interior optimum."""
+    rows = benchmark.pedantic(bank_sweep, rounds=1, iterations=1)
+    print(
+        render_table(
+            ["banks", "energy (pJ)"],
+            [[r["banks"], r["energy"]] for r in rows],
+            title="\nE1a: energy vs bank count (decoder-overhead crossover)",
+        )
+    )
+    energies = [r["energy"] for r in rows]
+    best = energies.index(min(energies))
+    # The optimum is interior: more banks help, then decoder overhead bites.
+    assert 0 < best < len(energies) - 1
+    assert energies[0] > min(energies)
+    assert energies[-1] > min(energies)
+
+
+def test_table_e1b_partitioner_comparison(benchmark):
+    """DP vs greedy vs even split on the same clustered layout."""
+
+    def run() -> list[dict]:
+        trace = ScatteredHotGenerator(400, 20, 60.0, 25000, seed=6).generate()
+        results = []
+        for partitioner in ("optimal", "greedy", "even"):
+            flow = MemoryOptimizationFlow(
+                FlowConfig(block_size=32, max_banks=4, strategy="affinity",
+                           partitioner=partitioner)
+            ).run(trace)
+            results.append(
+                {"partitioner": partitioner, "energy": flow.clustered.simulated.total}
+            )
+        return results
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            ["partitioner", "clustered energy (pJ)"],
+            [[r["partitioner"], r["energy"]] for r in rows],
+            title="\nE1b: partitioning algorithm comparison",
+        )
+    )
+    by_name = {r["partitioner"]: r["energy"] for r in rows}
+    assert by_name["optimal"] <= by_name["greedy"] + 1e-6
+    assert by_name["optimal"] < by_name["even"]

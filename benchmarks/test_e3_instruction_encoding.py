@@ -1,0 +1,169 @@
+"""E3 — application-specific instruction memory transformations (paper 1B-3).
+
+Paper claim: on numerical and DSP codes, the reprogrammable functional
+transform (single XOR gate per bus line, no dictionary) reduces instruction
+bus transitions by **up to half**, delivering "fully all the theoretically
+achievable power savings" without touching the fetch critical path.
+
+The regenerated table profiles the fetch stream of each DSP/numerical kernel,
+trains the functional transform on the first half, and measures transition
+reductions of the whole encoder family over the full stream.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.encoding import TransformSelector
+from repro.isa import CPU, load_kernel
+from repro.report import PaperComparison, render_comparisons, render_table
+
+KERNELS = ["fir", "dot_product", "matmul", "idct_rows", "crc32", "saxpy", "histogram"]
+
+
+def fetch_words(kernel: str) -> list[int]:
+    result = CPU().run(load_kernel(kernel))
+    return [event.value for event in result.instruction_trace]
+
+
+def run_encoder_grid() -> dict[str, dict[str, float]]:
+    """kernel -> encoder name -> transition reduction."""
+    selector = TransformSelector(width=32, train_fraction=0.5)
+    grid: dict[str, dict[str, float]] = {}
+    for kernel in KERNELS:
+        selection = selector.select(fetch_words(kernel))
+        grid[kernel] = {
+            report.encoder_name: report.reduction for report in selection.scoreboard
+        }
+        grid[kernel]["_best"] = selection.best_report.encoder_name
+    return grid
+
+
+def test_table_e3_functional_transform(benchmark):
+    """Regenerates the main E3 table: per-kernel reduction of the trained transform."""
+    grid = benchmark.pedantic(run_encoder_grid, rounds=1, iterations=1)
+
+    rows = [
+        [kernel,
+         f"{grid[kernel]['gray']:+.1%}",
+         f"{grid[kernel]['bus_invert']:+.1%}",
+         f"{grid[kernel]['functional']:+.1%}",
+         grid[kernel]["_best"]]
+        for kernel in KERNELS
+    ]
+    print(
+        render_table(
+            ["kernel", "gray", "bus-invert", "functional", "selected"],
+            rows,
+            title="\nE3: instruction-bus transition reduction (paper 1B-3)",
+        )
+    )
+    functional = [grid[kernel]["functional"] for kernel in KERNELS]
+    best = max(functional)
+    comparisons = [
+        PaperComparison("E3", "max transition reduction", 0.50, 0.50, best,
+                        shape_holds=best >= 0.40),
+    ]
+    print()
+    print(render_comparisons(comparisons))
+
+    # Shape: the functional transform wins on every kernel, reaching ~half
+    # of the original transitions on the best codes.
+    for kernel in KERNELS:
+        assert grid[kernel]["functional"] >= grid[kernel]["gray"], kernel
+        assert grid[kernel]["functional"] >= grid[kernel]["bus_invert"], kernel
+        assert grid[kernel]["functional"] > 0.20, kernel
+    assert best >= 0.45
+    assert statistics.mean(functional) > 0.35
+
+
+def test_table_e3b_address_bus(benchmark):
+    """The instruction *address* bus: sequential fetches favour Gray/T0.
+
+    The functional transform targets the instruction-word bus; the classic
+    encoders target the address bus.  This companion table shows each encoder
+    in its home territory — addresses are mostly sequential (+4 stride), so
+    T0 freezes the bus and Gray toggles one wire per step.
+    """
+
+    def run():
+        from repro.encoding import (
+            GrayEncoder,
+            RawEncoder,
+            T0Encoder,
+            XorDiffEncoder,
+            measure_encoder,
+        )
+
+        results = {}
+        for kernel in ("fir", "crc32", "matmul"):
+            result = CPU().run(load_kernel(kernel))
+            addresses = [event.address for event in result.instruction_trace]
+            results[kernel] = {}
+            for encoder in (RawEncoder(32), GrayEncoder(32), T0Encoder(32, stride=4),
+                            XorDiffEncoder(32)):
+                report = measure_encoder(encoder, addresses)
+                assert report.decodable
+                results[kernel][report.encoder_name] = report.reduction
+            # Gray over *word* addresses (the textbook deployment: the two
+            # constant byte-offset lines are not driven through the encoder).
+            word_addresses = [address >> 2 for address in addresses]
+            raw_word = measure_encoder(RawEncoder(32), word_addresses)
+            gray_word = measure_encoder(GrayEncoder(32), word_addresses)
+            results[kernel]["gray_word"] = (
+                1 - gray_word.total_transitions / raw_word.total_transitions
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            ["kernel", "gray(byte)", "gray(word)", "t0", "xor_diff"],
+            [
+                [kernel,
+                 f"{grid['gray']:+.1%}", f"{grid['gray_word']:+.1%}",
+                 f"{grid['t0']:+.1%}", f"{grid['xor_diff']:+.1%}"]
+                for kernel, grid in results.items()
+            ],
+            title="\nE3b: encoder reductions on the fetch *address* bus",
+        )
+    )
+    for kernel, grid in results.items():
+        # On near-sequential address streams T0 freezes the bus almost
+        # entirely, and Gray over word addresses (one bit per step) clearly
+        # beats Gray over byte addresses (stride 4 breaks the one-bit walk).
+        assert grid["t0"] > 0.5, kernel
+        assert grid["gray_word"] > grid["gray"], kernel
+        assert grid["gray_word"] > 0.3, kernel
+
+
+def test_figure_e3a_selection_is_per_application(benchmark):
+    """The reprogrammable selection picks the trained transform per app and
+    the chosen transform is always decodable (lossless on the real bus)."""
+
+    def run():
+        selector = TransformSelector(width=32)
+        results = {}
+        for kernel in KERNELS[:4]:
+            selection = selector.select(fetch_words(kernel))
+            results[kernel] = (
+                selection.best_report.encoder_name,
+                selection.best_report.reduction,
+                all(report.decodable for report in selection.scoreboard),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            ["kernel", "selected transform", "reduction", "all decodable"],
+            [[k, v[0], f"{v[1]:.1%}", str(v[2])] for k, v in results.items()],
+            title="\nE3a: per-application transform selection",
+        )
+    )
+    for kernel, (name, reduction, decodable) in results.items():
+        assert decodable, kernel
+        assert name.startswith("functional"), kernel
+        assert reduction > 0.2, kernel

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario: bring your own application — write assembly, trace it, optimize it.
+
+This example shows the full "downstream user" workflow: write a small
+embedded program in the package's assembly dialect, run it on the ISS,
+inspect the profile, and push the trace through the clustering flow and the
+compression platform.  Everything a user needs to evaluate the techniques on
+*their* workload.
+
+Run with::
+
+    python examples/custom_kernel_flow.py
+"""
+
+from repro import optimize_memory_layout
+from repro.compress import DifferentialCodec
+from repro.isa import CPU, assemble
+from repro.platforms import risc_platform
+from repro.report import render_table
+from repro.trace import AccessProfile
+
+# A tiny signal-processing program: ring-buffer moving average with a
+# scattered set of per-channel state words (the fragmentation pattern that
+# makes clustering pay off).
+SOURCE = """
+        .data
+ring:   .space 256              ; 64-entry ring buffer
+state:  .space 1024             ; 16 channels x 64B state blocks, field 0 hot
+        .text
+main:   la   r13, state
+        ; initialize all channel state (touches the cold fields once)
+        li   r8, 256            ; 1024 bytes = 256 words
+        mv   r9, r13
+init:   sw   zero, 0(r9)
+        addi r9, r9, 4
+        addi r8, r8, -1
+        bne  r8, zero, init
+        li   r10, 0             ; sample index
+        li   r11, 512           ; total samples
+        la   r12, ring
+loop:   ; synthesize a sample: s = (i * 37 + 11) & 0xFF
+        li   r2, 37
+        mul  r1, r10, r2
+        addi r1, r1, 11
+        andi r1, r1, 0xFF
+        ; ring[i % 64] = s
+        andi r3, r10, 63
+        slli r3, r3, 2
+        add  r4, r12, r3
+        sw   r1, 0(r4)
+        ; channel = i % 16; state[channel].acc += s  (field 0 of 64B block)
+        andi r5, r10, 15
+        slli r5, r5, 6
+        add  r6, r13, r5
+        lw   r7, 0(r6)
+        add  r7, r7, r1
+        sw   r7, 0(r6)
+        addi r10, r10, 1
+        bne  r10, r11, loop
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="moving_average")
+    result = CPU().run(program)
+    trace = result.data_trace
+    print(f"assembled {len(program.text_words)} instructions, "
+          f"executed {result.instructions_executed}, {len(trace)} data accesses\n")
+
+    profile = AccessProfile(trace, block_size=16)
+    hot = sorted(profile.access_counts().items(), key=lambda kv: -kv[1])[:5]
+    print(render_table(
+        ["block", "accesses"],
+        [[f"{block * 16:#x}", count] for block, count in hot],
+        title="hottest 16-byte blocks",
+    ))
+
+    flow = optimize_memory_layout(trace, block_size=16, max_banks=4, strategy="affinity")
+    print(f"\nclustering saves {flow.saving_vs_partitioned:.1%} vs partitioning alone, "
+          f"{flow.saving_vs_monolithic:.1%} vs a single bank")
+
+    base = risc_platform(None).run_traces(trace)
+    comp = risc_platform(DifferentialCodec()).run_traces(trace)
+    print(f"write-back compression saves a further "
+          f"{comp.breakdown.saving_vs(base.breakdown):.1%} of memory-subsystem energy "
+          f"({base.bytes_to_memory} -> {comp.bytes_to_memory} bytes written off-chip)")
+
+
+if __name__ == "__main__":
+    main()

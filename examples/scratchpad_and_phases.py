@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Scenario: scratchpad sizing and phase analysis for a firmware image.
+
+A firmware team wants to size the scratchpad of their next chip spin and
+wants to know whether their workload is phase-structured enough to justify
+runtime remapping.  This script:
+
+1. runs a kernel and detects its execution phases;
+2. sweeps scratchpad capacities with the profile-driven allocator;
+3. prints coverage/energy tables and a bar chart of the final breakdown.
+
+Run with::
+
+    python examples/scratchpad_and_phases.py
+"""
+
+from repro.isa import CPU, load_kernel
+from repro.report import bar_chart, render_table, sparkline
+from repro.spm import SPMAllocator, SPMConfig, SPMPlatform
+from repro.trace import AccessProfile, PhaseDetector
+
+
+def main() -> None:
+    program = load_kernel("table_lookup")
+    trace = CPU().run(program).data_trace
+    print(f"workload: {program.name}, {len(trace)} data accesses\n")
+
+    # --- phase structure -----------------------------------------------------
+    segmentation = PhaseDetector(window=512, num_clusters=3, block_size=32).detect(trace)
+    print(
+        render_table(
+            ["phase", "cluster", "events"],
+            [[i, p.cluster, p.num_events] for i, p in enumerate(segmentation.phases)],
+            title=f"{segmentation.num_phases} detected phases",
+        )
+    )
+    per_window_footprints = [
+        len({e.block(32) for e in trace[start : start + 512]})
+        for start in range(0, len(trace), 512)
+    ]
+    print(f"\nworking-set size per 512-access window: {sparkline(per_window_footprints)}")
+
+    # --- scratchpad sizing -----------------------------------------------------
+    profile = AccessProfile(trace, block_size=32)
+    platform = SPMPlatform()
+    base = platform.run_traces(trace)
+    cache_path_energy = platform.measured_cache_path_energy(trace)
+    rows = []
+    best = None
+    for size in (256, 512, 1024, 2048, 4096):
+        allocation = SPMAllocator(
+            SPMConfig(size=size), cache_path_energy=cache_path_energy
+        ).allocate(profile)
+        report = platform.run_traces(trace, allocation)
+        saving = 1 - report.breakdown.total / base.breakdown.total
+        rows.append([size, f"{report.spm_coverage:.1%}", report.breakdown.total, f"{saving:+.1%}"])
+        if best is None or report.breakdown.total < best[1].breakdown.total:
+            best = (size, report)
+    print()
+    print(
+        render_table(
+            ["SPM bytes", "coverage", "energy (pJ)", "saving"],
+            rows,
+            title="scratchpad capacity sweep",
+        )
+    )
+
+    size, report = best
+    print(f"\nrecommended scratchpad: {size} B — energy breakdown:")
+    print(bar_chart({k: v for k, v in report.breakdown.as_dict().items() if v > 0}))
+
+
+if __name__ == "__main__":
+    main()

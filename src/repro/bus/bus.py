@@ -1,0 +1,144 @@
+"""Parallel bus model with transition counting and pluggable encoders.
+
+The bus is the shared substrate of the compression (1B-2) and instruction
+encoding (1B-3) experiments: both papers reduce energy by reducing either the
+*number of words* driven onto the bus or the *number of bit transitions* per
+word.  The model here tracks both.
+
+A bus has a width in bits, a wire-energy model, and optionally an encoder
+(:mod:`repro.encoding`) that transforms each word before it hits the wires.
+Transition counting is done on the *encoded* (physical) values; statistics on
+logical words are kept separately so encoder efficacy is directly observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from ..memory.energy import BusEnergyModel
+
+__all__ = ["Bus", "BusStats", "hamming", "count_transitions"]
+
+
+def hamming(a: int, b: int) -> int:
+    """Number of differing bits between two non-negative integers."""
+    return bin(a ^ b).count("1")
+
+
+def count_transitions(words: Iterable[int]) -> int:
+    """Total bit transitions of a word sequence driven on an (initially 0) bus."""
+    total = 0
+    previous = 0
+    for word in words:
+        total += hamming(previous, word)
+        previous = word
+    return total
+
+
+class _EncoderProtocol(Protocol):  # pragma: no cover - typing aid
+    def encode(self, word: int) -> int: ...
+    def reset(self) -> None: ...
+
+
+@dataclass
+class BusStats:
+    """Aggregate statistics of a bus."""
+
+    words: int = 0
+    transitions: int = 0
+    raw_transitions: int = 0
+
+    @property
+    def transitions_per_word(self) -> float:
+        """Mean physical transitions per word (0 if nothing driven)."""
+        return self.transitions / self.words if self.words else 0.0
+
+    @property
+    def reduction(self) -> float:
+        """Fractional transition reduction vs the unencoded stream."""
+        if self.raw_transitions == 0:
+            return 0.0
+        return 1.0 - self.transitions / self.raw_transitions
+
+
+class Bus:
+    """A ``width``-bit parallel bus.
+
+    Parameters
+    ----------
+    width:
+        Number of wires.
+    energy_model:
+        pJ-per-transition model (on-chip vs off-chip presets available on
+        :class:`~repro.memory.energy.BusEnergyModel`).
+    encoder:
+        Optional encoder applied to every word before it is driven.  Must
+        expose ``encode(word) -> int`` and ``reset()``.
+    name:
+        Label for reports.
+    """
+
+    def __init__(
+        self,
+        width: int = 32,
+        energy_model: BusEnergyModel | None = None,
+        encoder: _EncoderProtocol | None = None,
+        name: str = "bus",
+    ) -> None:
+        if width <= 0:
+            raise ValueError("bus width must be positive")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.energy_model = energy_model if energy_model is not None else BusEnergyModel.on_chip()
+        self.encoder = encoder
+        self.name = name
+        self.stats = BusStats()
+        self._wires = 0
+        self._raw_previous = 0
+
+    def drive(self, word: int) -> float:
+        """Drive one logical word onto the bus; return the energy spent (pJ)."""
+        if word < 0:
+            raise ValueError("bus words must be non-negative")
+        logical = word & self.mask
+        physical = (self.encoder.encode(logical) & self.mask) if self.encoder else logical
+        flips = hamming(self._wires, physical)
+        self.stats.words += 1
+        self.stats.transitions += flips
+        self.stats.raw_transitions += hamming(self._raw_previous, logical)
+        self._wires = physical
+        self._raw_previous = logical
+        return self.energy_model.energy(flips)
+
+    def drive_all(self, words: Iterable[int]) -> float:
+        """Drive a word sequence; return total energy (pJ)."""
+        return sum(self.drive(word) for word in words)
+
+    def drive_bytes(self, payload: bytes) -> float:
+        """Drive a byte string as consecutive little-endian bus words.
+
+        The payload is padded with zero bytes up to a whole number of words —
+        matching how a narrow burst occupies the full bus width.
+        """
+        word_bytes = self.width // 8
+        if word_bytes == 0:
+            raise ValueError("drive_bytes needs a bus at least 8 bits wide")
+        energy = 0.0
+        for start in range(0, len(payload), word_bytes):
+            chunk = payload[start : start + word_bytes]
+            energy += self.drive(int.from_bytes(chunk, "little"))
+        return energy
+
+    @property
+    def energy(self) -> float:
+        """Total energy (pJ) spent on physical transitions so far."""
+        return self.energy_model.energy(self.stats.transitions)
+
+    def reset(self) -> None:
+        """Clear statistics, wire state, and encoder state."""
+        self.stats = BusStats()
+        self._wires = 0
+        self._raw_previous = 0
+        if self.encoder is not None:
+            self.encoder.reset()

@@ -1,0 +1,341 @@
+"""Set-associative cache simulator.
+
+The cache is a *traffic transformer*: it consumes word accesses and produces
+line transfers (refills from and write-backs to the next memory level).  The
+compression experiments (E2) hang off exactly those line transfers, so the
+simulator reports them explicitly through :class:`CacheAccessResult` instead
+of hiding them inside statistics.
+
+Supported geometry and policies:
+
+* any power-of-two total size / line size / associativity combination,
+* replacement: LRU, FIFO, or seeded random,
+* write policy: write-back + write-allocate (default, what Lx-ST200 and the
+  MIPS baseline of 1B-2 use) or write-through + no-write-allocate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memory.energy import SRAMEnergyModel
+
+__all__ = [
+    "ReplacementPolicy",
+    "WritePolicy",
+    "CacheConfig",
+    "LineTransfer",
+    "CacheAccessResult",
+    "CacheStats",
+    "Cache",
+]
+
+
+class ReplacementPolicy(enum.Enum):
+    """Victim selection policy within a set."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+class WritePolicy(enum.Enum):
+    """How writes interact with the next memory level."""
+
+    WRITE_BACK = "write-back"  # write-allocate
+    WRITE_THROUGH = "write-through"  # no-write-allocate
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry and policies.
+
+    Parameters
+    ----------
+    size:
+        Total data capacity in bytes.
+    line_size:
+        Line (block) size in bytes.
+    ways:
+        Associativity; ``1`` gives a direct-mapped cache.
+    replacement, write_policy:
+        Policies; see the enums above.
+    seed:
+        RNG seed, used only by :class:`ReplacementPolicy.RANDOM`.
+    """
+
+    size: int = 8 * 1024
+    line_size: int = 32
+    ways: int = 4
+    replacement: ReplacementPolicy = ReplacementPolicy.LRU
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("size", "line_size", "ways"):
+            if not _is_power_of_two(getattr(self, name)):
+                raise ValueError(f"{name} must be a positive power of two")
+        if self.line_size > self.size:
+            raise ValueError("line_size cannot exceed cache size")
+        if self.ways * self.line_size > self.size:
+            raise ValueError("ways * line_size cannot exceed cache size")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size // (self.line_size * self.ways)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines."""
+        return self.size // self.line_size
+
+
+@dataclass(frozen=True)
+class LineTransfer:
+    """One line moved between the cache and the next level."""
+
+    line_address: int  # base byte address of the line
+    size: int  # line size in bytes
+    is_writeback: bool  # True: dirty eviction to memory; False: refill from memory
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    transfers: list[LineTransfer] = field(default_factory=list)
+
+    @property
+    def refill(self) -> LineTransfer | None:
+        """The refill transfer, if the access missed."""
+        for transfer in self.transfers:
+            if not transfer.is_writeback:
+                return transfer
+        return None
+
+    @property
+    def writeback(self) -> LineTransfer | None:
+        """The write-back transfer, if a dirty line was evicted or written through."""
+        for transfer in self.transfers:
+            if transfer.is_writeback:
+                return transfer
+        return None
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache statistics."""
+
+    accesses: int = 0
+    hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    refills: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate in [0, 1] (1.0 when no accesses)."""
+        return self.hits / self.accesses if self.accesses else 1.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate in [0, 1]."""
+        return 1.0 - self.hit_rate
+
+
+class _Line:
+    """Internal line bookkeeping."""
+
+    __slots__ = ("tag", "valid", "dirty", "stamp")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.stamp = 0  # LRU: last-use time; FIFO: fill time
+
+
+class Cache:
+    """A set-associative cache.
+
+    Parameters
+    ----------
+    config:
+        Geometry and policies.
+    energy_model:
+        Optional SRAM model used by :meth:`access_energy` to price each hit
+        lookup; misses additionally pay the next level through whatever the
+        caller wires up.
+    name:
+        Label for reports.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        energy_model: SRAMEnergyModel | None = None,
+        name: str = "cache",
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.energy_model = energy_model if energy_model is not None else SRAMEnergyModel()
+        self.stats = CacheStats()
+        self._sets: list[list[_Line]] = [
+            [_Line() for _ in range(config.ways)] for _ in range(config.num_sets)
+        ]
+        self._clock = 0
+        self._rng = np.random.default_rng(config.seed)
+
+    # -- address helpers ----------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Base address of the line containing ``address``."""
+        return address - (address % self.config.line_size)
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_index = address // self.config.line_size
+        return line_index % self.config.num_sets, line_index // self.config.num_sets
+
+    # -- the access path ----------------------------------------------------------
+
+    def access(self, address: int, is_write: bool = False) -> CacheAccessResult:
+        """Perform one word access; return hit status and line transfers."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        self._clock += 1
+        self.stats.accesses += 1
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+
+        for line in ways:
+            if line.valid and line.tag == tag:
+                self.stats.hits += 1
+                if self.config.replacement is ReplacementPolicy.LRU:
+                    line.stamp = self._clock
+                result = CacheAccessResult(hit=True)
+                if is_write:
+                    if self.config.write_policy is WritePolicy.WRITE_BACK:
+                        line.dirty = True
+                    else:
+                        # Write-through: the word still goes to memory.
+                        self.stats.writebacks += 1
+                        result.transfers.append(
+                            LineTransfer(
+                                line_address=self.line_address(address),
+                                size=4,
+                                is_writeback=True,
+                            )
+                        )
+                return result
+
+        # Miss.
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        transfers: list[LineTransfer] = []
+        write_through = self.config.write_policy is WritePolicy.WRITE_THROUGH
+        if is_write and write_through:
+            # No-write-allocate: the write goes straight to memory.
+            self.stats.writebacks += 1
+            transfers.append(
+                LineTransfer(
+                    line_address=self.line_address(address), size=4, is_writeback=True
+                )
+            )
+            return CacheAccessResult(hit=False, transfers=transfers)
+
+        victim = self._choose_victim(ways)
+        if victim.valid and victim.dirty:
+            victim_address = self._reconstruct_address(set_index, victim.tag)
+            self.stats.writebacks += 1
+            transfers.append(
+                LineTransfer(
+                    line_address=victim_address,
+                    size=self.config.line_size,
+                    is_writeback=True,
+                )
+            )
+        self.stats.refills += 1
+        transfers.append(
+            LineTransfer(
+                line_address=self.line_address(address),
+                size=self.config.line_size,
+                is_writeback=False,
+            )
+        )
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = is_write and not write_through
+        victim.stamp = self._clock
+        return CacheAccessResult(hit=False, transfers=transfers)
+
+    def _choose_victim(self, ways: list[_Line]) -> _Line:
+        for line in ways:
+            if not line.valid:
+                return line
+        if self.config.replacement is ReplacementPolicy.RANDOM:
+            return ways[int(self._rng.integers(0, len(ways)))]
+        # LRU and FIFO both evict the smallest stamp (last-use vs fill time).
+        return min(ways, key=lambda line: line.stamp)
+
+    def _reconstruct_address(self, set_index: int, tag: int) -> int:
+        return (tag * self.config.num_sets + set_index) * self.config.line_size
+
+    def flush(self) -> list[LineTransfer]:
+        """Write back every dirty line and invalidate the cache."""
+        transfers = []
+        for set_index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid and line.dirty:
+                    self.stats.writebacks += 1
+                    transfers.append(
+                        LineTransfer(
+                            line_address=self._reconstruct_address(set_index, line.tag),
+                            size=self.config.line_size,
+                            is_writeback=True,
+                        )
+                    )
+                line.valid = False
+                line.dirty = False
+                line.tag = -1
+        return transfers
+
+    # -- energy -------------------------------------------------------------------
+
+    def access_energy(self) -> float:
+        """Energy (pJ) of one cache lookup (tag + data array access)."""
+        # Tag array is small relative to data; fold it into a 10% uplift.
+        return 1.1 * self.energy_model.read_energy(self.config.size, self.config.line_size)
+
+    @property
+    def lookup_energy_total(self) -> float:
+        """Total lookup energy (pJ) spent so far."""
+        return self.stats.accesses * self.access_energy()
+
+    def reset(self) -> None:
+        """Invalidate contents and zero statistics."""
+        self.stats = CacheStats()
+        self._clock = 0
+        for ways in self._sets:
+            for line in ways:
+                line.valid = False
+                line.dirty = False
+                line.tag = -1
+                line.stamp = 0

@@ -1,0 +1,139 @@
+"""Two-level cache hierarchy composition.
+
+The E2 platform uses a single cache level (like the paper's Lx/MIPS setups),
+but a downstream user evaluating the techniques on a larger system needs an
+L2.  :class:`CacheHierarchy` composes two :class:`~repro.cache.cache.Cache`
+levels with standard non-inclusive behaviour:
+
+* L1 misses look up L2; an L2 hit refills L1 with no memory traffic;
+* L2 misses produce the memory-level transfers;
+* L1 write-backs are installed into L2 (dirty), possibly evicting an L2
+  victim whose write-back goes to memory.
+
+The hierarchy exposes the same ``access -> transfers`` contract as a single
+cache, so platforms can treat either uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.energy import SRAMEnergyModel
+from .cache import Cache, CacheAccessResult, CacheConfig, LineTransfer
+
+__all__ = ["CacheHierarchy", "HierarchyStats"]
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics of the two levels."""
+
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 hit rate (1.0 when idle)."""
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 1.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """L2 local hit rate (hits over L2 lookups)."""
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 1.0
+
+    @property
+    def global_miss_rate(self) -> float:
+        """Fraction of CPU accesses that reach memory."""
+        if self.l1_accesses == 0:
+            return 0.0
+        misses_to_memory = self.l2_accesses - self.l2_hits
+        return misses_to_memory / self.l1_accesses
+
+
+class CacheHierarchy:
+    """L1 + L2 composition with write-back interaction.
+
+    Parameters
+    ----------
+    l1_config, l2_config:
+        Geometries; the L2 line size must equal the L1 line size (mixed line
+        sizes need split/merge logic out of scope here) and the L2 must be at
+        least as large as the L1.
+    energy_model:
+        Shared SRAM model for lookup energies.
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        energy_model: SRAMEnergyModel | None = None,
+    ) -> None:
+        if l2_config.line_size != l1_config.line_size:
+            raise ValueError("L1 and L2 line sizes must match")
+        if l2_config.size < l1_config.size:
+            raise ValueError("L2 must be at least as large as L1")
+        model = energy_model if energy_model is not None else SRAMEnergyModel()
+        self.l1 = Cache(l1_config, energy_model=model, name="L1")
+        self.l2 = Cache(l2_config, energy_model=model, name="L2")
+        self.stats = HierarchyStats()
+
+    def access(self, address: int, is_write: bool = False) -> CacheAccessResult:
+        """One CPU access; returned transfers are **memory-level** only."""
+        self.stats.l1_accesses += 1
+        l1_result = self.l1.access(address, is_write=is_write)
+        if l1_result.hit and not l1_result.transfers:
+            self.stats.l1_hits += 1
+            return CacheAccessResult(hit=True)
+
+        memory_transfers: list[LineTransfer] = []
+        if l1_result.hit:
+            self.stats.l1_hits += 1
+        for transfer in l1_result.transfers:
+            if transfer.is_writeback:
+                # Install the dirty line into L2.
+                memory_transfers.extend(self._install_writeback(transfer))
+            else:
+                # L1 refill: look up L2.
+                memory_transfers.extend(self._refill_through_l2(transfer))
+        return CacheAccessResult(hit=l1_result.hit, transfers=memory_transfers)
+
+    def _install_writeback(self, transfer: LineTransfer) -> list[LineTransfer]:
+        self.stats.l2_accesses += 1
+        result = self.l2.access(transfer.line_address, is_write=True)
+        if result.hit:
+            self.stats.l2_hits += 1
+            return [t for t in result.transfers if t.is_writeback]
+        # L2 miss on install: the allocate refill is internal (the line's
+        # data arrives from L1, not memory); only the victim write-back is
+        # real memory traffic.
+        return [t for t in result.transfers if t.is_writeback]
+
+    def _refill_through_l2(self, transfer: LineTransfer) -> list[LineTransfer]:
+        self.stats.l2_accesses += 1
+        result = self.l2.access(transfer.line_address, is_write=False)
+        if result.hit:
+            self.stats.l2_hits += 1
+            return [t for t in result.transfers if t.is_writeback]
+        # L2 miss: the refill from memory is real; so is any victim write-back.
+        return result.transfers
+
+    def flush(self) -> list[LineTransfer]:
+        """Flush both levels; L1 dirty lines drain through L2 first."""
+        memory_transfers: list[LineTransfer] = []
+        for transfer in self.l1.flush():
+            memory_transfers.extend(self._install_writeback(transfer))
+        memory_transfers.extend(self.l2.flush())
+        return memory_transfers
+
+    def lookup_energy_total(self) -> float:
+        """Total lookup energy (pJ) across both levels."""
+        return self.l1.lookup_energy_total + self.l2.lookup_energy_total
+
+    def reset(self) -> None:
+        """Invalidate both levels and zero statistics."""
+        self.l1.reset()
+        self.l2.reset()
+        self.stats = HierarchyStats()

@@ -1,0 +1,32 @@
+"""Gate-level circuit substrate: netlists, stuck-at faults, LFSR BIST."""
+
+from .atpg import TopUpResult, find_test, identify_dont_cares, top_up_patterns
+from .faults import CoverageResult, FaultSimulator, StuckAtFault, enumerate_faults
+from .lfsr import LFSR, lfsr_patterns, weighted_patterns
+from .misr import MISR, SignatureResult, signature_coverage
+from .netlist import Gate, GateType, Netlist, and_tree, c17, random_netlist, two_tower, xor_chain
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Netlist",
+    "and_tree",
+    "xor_chain",
+    "random_netlist",
+    "two_tower",
+    "c17",
+    "StuckAtFault",
+    "enumerate_faults",
+    "FaultSimulator",
+    "CoverageResult",
+    "LFSR",
+    "lfsr_patterns",
+    "weighted_patterns",
+    "find_test",
+    "top_up_patterns",
+    "identify_dont_cares",
+    "TopUpResult",
+    "MISR",
+    "SignatureResult",
+    "signature_coverage",
+]

@@ -1,0 +1,135 @@
+"""Simple ATPG: random-search test generation + don't-care identification.
+
+Mixed-mode BIST (the 10C mask-based flavour) tops up the pseudo-random
+residue with a few *stored deterministic* patterns.  This module generates
+them the simple honest way — bounded random search per fault with fault
+dropping — and then **relaxes** each stored pattern by identifying inputs
+whose value does not matter for the faults it detects (per-input flip
+check).  The resulting don't-care-rich patterns are exactly what the
+test-data compression flow (:mod:`repro.testcomp`) feeds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..testcomp.vectors import DONT_CARE, TestPattern
+from .faults import StuckAtFault
+from .netlist import Netlist
+
+__all__ = ["find_test", "top_up_patterns", "identify_dont_cares", "TopUpResult"]
+
+
+def _detects(netlist: Netlist, pattern: dict[str, int], fault: StuckAtFault) -> bool:
+    golden = netlist.output_response(pattern, 1)
+    faulty = netlist.output_response(pattern, 1, fault=(fault.net, fault.stuck_value))
+    return any(golden[net] != faulty[net] for net in netlist.outputs)
+
+
+def find_test(
+    netlist: Netlist,
+    fault: StuckAtFault,
+    rng: np.random.Generator,
+    max_tries: int = 512,
+) -> dict[str, int] | None:
+    """Bounded biased-random search for a pattern detecting ``fault``.
+
+    Cycles through a portfolio of input-weight distributions (uniform,
+    mostly-1, mostly-0) — uniform search essentially never activates
+    random-pattern-resistant sites like deep AND cones, but the biased draws
+    do.  Returns ``None`` when the budget runs out (the fault may be
+    redundant or merely hard); a production flow would escalate to PODEM.
+    """
+    weights = (0.5, 0.9, 0.1, 0.75, 0.25)
+    for attempt in range(max_tries):
+        weight = weights[attempt % len(weights)]
+        pattern = {net: int(rng.random() < weight) for net in netlist.inputs}
+        if _detects(netlist, pattern, fault):
+            return pattern
+    return None
+
+
+@dataclass
+class TopUpResult:
+    """Deterministic top-up set for a list of residual faults."""
+
+    patterns: list  # list[dict[str, int]]
+    covered: set  # faults detected by the top-up set
+    abandoned: list  # faults the search budget could not hit
+
+
+def top_up_patterns(
+    netlist: Netlist,
+    faults: list[StuckAtFault],
+    seed: int = 0,
+    max_tries: int = 512,
+) -> TopUpResult:
+    """Generate stored patterns for the residual faults, with fault dropping.
+
+    Each generated pattern is simulated against the remaining residue so a
+    single stored pattern can retire several faults.
+    """
+    rng = np.random.default_rng(seed)
+    remaining = list(faults)
+    patterns: list[dict[str, int]] = []
+    covered: set = set()
+    abandoned: list[StuckAtFault] = []
+    while remaining:
+        target = remaining.pop(0)
+        pattern = find_test(netlist, target, rng, max_tries)
+        if pattern is None:
+            abandoned.append(target)
+            continue
+        patterns.append(pattern)
+        covered.add(target)
+        still = []
+        for fault in remaining:
+            if _detects(netlist, pattern, fault):
+                covered.add(fault)
+            else:
+                still.append(fault)
+        remaining = still
+    return TopUpResult(patterns=patterns, covered=covered, abandoned=abandoned)
+
+
+def _detects_ternary(
+    netlist: Netlist, values: dict[str, int], fault: StuckAtFault
+) -> bool:
+    """Definite detection under 3-valued simulation (X outputs don't count)."""
+    golden = netlist.evaluate_ternary(values)
+    faulty = netlist.evaluate_ternary(values, fault=(fault.net, fault.stuck_value))
+    X = netlist.X
+    return any(
+        golden[net] != X and faulty[net] != X and golden[net] != faulty[net]
+        for net in netlist.outputs
+    )
+
+
+def identify_dont_cares(
+    netlist: Netlist,
+    pattern: dict[str, int],
+    faults: list[StuckAtFault],
+) -> TestPattern:
+    """Relax a stored pattern: mark inputs whose value is irrelevant as X.
+
+    Greedy sequential relaxation verified with **ternary simulation**: an
+    input is accepted as X only if, with every previously accepted X still
+    unknown, all of the pattern's faults remain *definitely* detected.
+    Because ternary X propagation over-approximates every concrete filling
+    simultaneously, the relaxed pattern provably detects its faults under
+    any filling of the X bits (adversarially re-checked in the test suite).
+    """
+    relevant = [fault for fault in faults if _detects(netlist, pattern, fault)]
+    working: dict[str, int] = dict(pattern)
+    for net in sorted(netlist.inputs):
+        saved = working[net]
+        working[net] = Netlist.X
+        if not all(_detects_ternary(netlist, working, fault) for fault in relevant):
+            working[net] = saved
+    bits = tuple(
+        DONT_CARE if working[net] == Netlist.X else working[net]
+        for net in netlist.inputs
+    )
+    return TestPattern(bits)

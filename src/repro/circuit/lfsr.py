@@ -1,0 +1,111 @@
+"""LFSR pattern generation for BIST (sessions 3C/10C territory).
+
+A linear-feedback shift register is the standard on-chip pseudo-random
+pattern source.  :class:`LFSR` implements a Fibonacci LFSR over a
+characteristic polynomial; :func:`weighted_patterns` biases each input's
+probability of being 1 — the classic fix for random-pattern-resistant
+faults (an AND tree wants mostly-1 inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LFSR", "lfsr_patterns", "weighted_patterns"]
+
+# Maximal-length polynomials (taps) for common widths, as bit positions.
+_MAXIMAL_TAPS = {
+    8: (8, 6, 5, 4),
+    16: (16, 14, 13, 11),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+}
+
+
+class LFSR:
+    """Fibonacci LFSR.
+
+    Parameters
+    ----------
+    width:
+        Register width (8, 16, 24, or 32 for the built-in maximal taps).
+    seed:
+        Non-zero initial state.
+    taps:
+        Optional custom tap positions (1-based from the output end).
+    """
+
+    def __init__(self, width: int = 16, seed: int = 1, taps: tuple | None = None) -> None:
+        if taps is None:
+            if width not in _MAXIMAL_TAPS:
+                raise ValueError(
+                    f"no built-in taps for width {width}; supply taps explicitly"
+                )
+            taps = _MAXIMAL_TAPS[width]
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        if any(not 1 <= tap <= width for tap in taps):
+            raise ValueError("tap positions must be in [1, width]")
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = seed & ((1 << width) - 1)
+        if self.state == 0:
+            raise ValueError("seed reduces to zero state")
+
+    def step(self) -> int:
+        """Advance one bit; return the bit shifted out.
+
+        Tap ``t`` denotes the ``x^t`` term of the characteristic polynomial,
+        i.e. bit ``width - t`` of the register (the conventional Fibonacci
+        numbering, counted from the output end).
+        """
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        out = self.state & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return out
+
+    def next_word(self, bits: int) -> int:
+        """Shift out ``bits`` bits as an integer (LSB first out)."""
+        word = 0
+        for position in range(bits):
+            word |= self.step() << position
+        return word
+
+    def period_check(self, limit: int = 1 << 20) -> int:
+        """Steps until the state repeats (maximal = 2^width - 1)."""
+        initial = self.state
+        for count in range(1, limit + 1):
+            self.step()
+            if self.state == initial:
+                return count
+        return -1
+
+
+def lfsr_patterns(inputs: list[str], count: int, width: int = 16, seed: int = 1) -> list[dict]:
+    """``count`` pseudo-random patterns over the named inputs."""
+    lfsr = LFSR(width=width, seed=seed)
+    patterns = []
+    for _ in range(count):
+        patterns.append({net: lfsr.step() for net in inputs})
+    return patterns
+
+
+def weighted_patterns(
+    inputs: list[str],
+    count: int,
+    weight: float = 0.5,
+    seed: int = 1,
+) -> list[dict]:
+    """Patterns where each input is 1 with probability ``weight``.
+
+    Hardware realizes this by ANDing/ORing multiple LFSR bits; the model uses
+    an RNG directly — the statistics are what matter.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("weight must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    return [
+        {net: int(rng.random() < weight) for net in inputs} for _ in range(count)
+    ]

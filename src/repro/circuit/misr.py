@@ -1,0 +1,151 @@
+"""MISR response compaction and signature-based detection.
+
+On-chip BIST cannot compare every output vector against a stored golden
+response; it compacts the response stream into a **multiple-input signature
+register** (MISR) and compares one final signature.  The price is
+*aliasing*: a faulty response stream can collapse to the golden signature
+with probability ≈ 2^-width.  This module provides the MISR model and a
+signature-based fault simulator so both effects are measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faults import StuckAtFault, enumerate_faults
+from .lfsr import _MAXIMAL_TAPS
+from .netlist import Netlist
+
+__all__ = ["MISR", "SignatureResult", "signature_coverage"]
+
+
+class MISR:
+    """Multiple-input signature register over a maximal LFSR polynomial.
+
+    Parameters
+    ----------
+    width:
+        Register width (8, 16, 24, or 32 for built-in taps) — also the upper
+        bound on how many response bits are absorbed per clock.
+    taps:
+        Optional custom tap positions.
+    """
+
+    def __init__(self, width: int = 16, taps: tuple | None = None) -> None:
+        if taps is None:
+            if width not in _MAXIMAL_TAPS:
+                raise ValueError(f"no built-in taps for width {width}; supply taps")
+            taps = _MAXIMAL_TAPS[width]
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = 0
+
+    def _fold(self, word: int) -> int:
+        """Space-compact an arbitrarily wide response word to ``width`` bits.
+
+        Wider-than-register responses pass through an XOR tree in hardware;
+        folding the word in ``width``-bit chunks models it exactly.  Without
+        this, outputs beyond the register width would simply be invisible.
+        """
+        mask = (1 << self.width) - 1
+        folded = 0
+        while word:
+            folded ^= word & mask
+            word >>= self.width
+        return folded
+
+    def clock(self, parallel_input: int) -> None:
+        """Absorb one response word (space-compacted to the register width)."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        self.state = ((self.state >> 1) | (feedback << (self.width - 1))) ^ self._fold(
+            parallel_input
+        )
+
+    def reset(self) -> None:
+        """Clear the register."""
+        self.state = 0
+
+    @property
+    def signature(self) -> int:
+        """Current signature value."""
+        return self.state
+
+    def absorb_responses(self, responses: list[int]) -> int:
+        """Reset, clock in a whole response stream, return the signature."""
+        self.reset()
+        for response in responses:
+            self.clock(response)
+        return self.signature
+
+
+def _response_stream(
+    netlist: Netlist,
+    patterns: list[dict[str, int]],
+    fault: tuple[str, int] | None = None,
+) -> list[int]:
+    """Per-pattern output words (outputs packed LSB-first in output order)."""
+    stream = []
+    for pattern in patterns:
+        response = netlist.output_response(pattern, 1, fault=fault)
+        word = 0
+        for position, net in enumerate(netlist.outputs):
+            word |= response[net] << position
+        stream.append(word)
+    return stream
+
+
+@dataclass
+class SignatureResult:
+    """Outcome of signature-based BIST evaluation."""
+
+    golden_signature: int
+    total_faults: int
+    detected_by_response: int  # faults whose response stream differs
+    detected_by_signature: int  # faults whose final signature differs
+    aliased: int  # detected by response but masked by compaction
+
+    @property
+    def signature_coverage(self) -> float:
+        """Coverage as seen through the MISR."""
+        return self.detected_by_signature / self.total_faults if self.total_faults else 1.0
+
+    @property
+    def aliasing_rate(self) -> float:
+        """Fraction of response-detected faults lost to aliasing."""
+        if self.detected_by_response == 0:
+            return 0.0
+        return self.aliased / self.detected_by_response
+
+
+def signature_coverage(
+    netlist: Netlist,
+    patterns: list[dict[str, int]],
+    misr: MISR,
+    faults: list[StuckAtFault] | None = None,
+) -> SignatureResult:
+    """Compare per-fault signatures against the golden signature."""
+    if faults is None:
+        faults = enumerate_faults(netlist)
+    golden_stream = _response_stream(netlist, patterns)
+    golden_signature = misr.absorb_responses(golden_stream)
+    detected_by_response = 0
+    detected_by_signature = 0
+    aliased = 0
+    for fault in faults:
+        stream = _response_stream(netlist, patterns, fault=(fault.net, fault.stuck_value))
+        if stream != golden_stream:
+            detected_by_response += 1
+            signature = misr.absorb_responses(stream)
+            if signature != golden_signature:
+                detected_by_signature += 1
+            else:
+                aliased += 1
+    return SignatureResult(
+        golden_signature=golden_signature,
+        total_faults=len(faults),
+        detected_by_response=detected_by_response,
+        detected_by_signature=detected_by_signature,
+        aliased=aliased,
+    )

@@ -1,0 +1,388 @@
+"""Gate-level combinational netlists with bit-parallel evaluation.
+
+The test-oriented sessions of these proceedings (2C/3C/10C) all assume a
+gate-level circuit substrate with stuck-at faults; this module provides it.
+Evaluation is **bit-parallel**: every net carries a Python integer used as a
+w-bit vector, so one pass through the netlist evaluates up to ``w`` input
+patterns simultaneously — the classic parallel-pattern simulation trick that
+makes Python-speed fault simulation practical.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["GateType", "Gate", "Netlist", "and_tree", "xor_chain", "random_netlist", "c17"]
+
+
+class GateType(enum.Enum):
+    """Supported gate functions."""
+
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: output net driven from input nets."""
+
+    gate_type: GateType
+    output: str
+    inputs: tuple
+
+    def __post_init__(self) -> None:
+        if self.gate_type in (GateType.NOT, GateType.BUF):
+            if len(self.inputs) != 1:
+                raise ValueError(f"{self.gate_type.value} takes exactly one input")
+        elif len(self.inputs) < 2:
+            raise ValueError(f"{self.gate_type.value} needs at least two inputs")
+
+
+class Netlist:
+    """A combinational netlist.
+
+    Parameters
+    ----------
+    inputs:
+        Primary input net names.
+    outputs:
+        Primary output net names (must be driven).
+    gates:
+        Gates in any order; a topological order is computed (cycles are
+        rejected — this is combinational logic).
+    """
+
+    def __init__(self, inputs: list[str], outputs: list[str], gates: list[Gate]) -> None:
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.gates = list(gates)
+        self._validate()
+        self._order = self._topological_order()
+
+    def _validate(self) -> None:
+        driven = set(self.inputs)
+        for gate in self.gates:
+            if gate.output in driven:
+                raise ValueError(f"net {gate.output!r} driven more than once")
+            driven.add(gate.output)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in driven:
+                    raise ValueError(f"net {net!r} is never driven")
+        for net in self.outputs:
+            if net not in driven:
+                raise ValueError(f"output {net!r} is never driven")
+
+    def _topological_order(self) -> list[Gate]:
+        by_output = {gate.output: gate for gate in self.gates}
+        order: list[Gate] = []
+        state: dict[str, int] = {}  # 0 unvisited, 1 visiting, 2 done
+
+        def visit(net: str) -> None:
+            if net in self.inputs or state.get(net) == 2:
+                return
+            if state.get(net) == 1:
+                raise ValueError("combinational loop detected")
+            state[net] = 1
+            gate = by_output[net]
+            for source in gate.inputs:
+                visit(source)
+            state[net] = 2
+            order.append(gate)
+
+        for gate in self.gates:
+            visit(gate.output)
+        return order
+
+    @property
+    def nets(self) -> list[str]:
+        """All net names: inputs first, then gate outputs in topological order."""
+        return self.inputs + [gate.output for gate in self._order]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates."""
+        return len(self.gates)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        input_vectors: dict[str, int],
+        width: int,
+        fault: tuple[str, int] | None = None,
+    ) -> dict[str, int]:
+        """Bit-parallel evaluation.
+
+        ``input_vectors[net]`` packs ``width`` patterns (bit *i* = pattern
+        *i*'s value for that net).  ``fault`` is an optional
+        ``(net, stuck_value)`` stuck-at fault forced onto a net.  Returns the
+        value of every net.
+        """
+        mask = (1 << width) - 1
+        values: dict[str, int] = {}
+        for net in self.inputs:
+            values[net] = input_vectors[net] & mask
+
+        def apply_fault(net: str, value: int) -> int:
+            if fault is not None and fault[0] == net:
+                return mask if fault[1] else 0
+            return value
+
+        for net in self.inputs:
+            values[net] = apply_fault(net, values[net])
+
+        for gate in self._order:
+            operands = [values[net] for net in gate.inputs]
+            if gate.gate_type is GateType.AND:
+                result = mask
+                for operand in operands:
+                    result &= operand
+            elif gate.gate_type is GateType.OR:
+                result = 0
+                for operand in operands:
+                    result |= operand
+            elif gate.gate_type is GateType.NAND:
+                result = mask
+                for operand in operands:
+                    result &= operand
+                result ^= mask
+            elif gate.gate_type is GateType.NOR:
+                result = 0
+                for operand in operands:
+                    result |= operand
+                result ^= mask
+            elif gate.gate_type is GateType.XOR:
+                result = 0
+                for operand in operands:
+                    result ^= operand
+            elif gate.gate_type is GateType.XNOR:
+                result = 0
+                for operand in operands:
+                    result ^= operand
+                result ^= mask
+            elif gate.gate_type is GateType.NOT:
+                result = operands[0] ^ mask
+            else:  # BUF
+                result = operands[0]
+            values[gate.output] = apply_fault(gate.output, result & mask)
+        return values
+
+    def output_response(
+        self,
+        input_vectors: dict[str, int],
+        width: int,
+        fault: tuple[str, int] | None = None,
+    ) -> dict[str, int]:
+        """Primary-output values only."""
+        values = self.evaluate(input_vectors, width, fault)
+        return {net: values[net] for net in self.outputs}
+
+    # -- ternary (3-valued) evaluation -----------------------------------------
+
+    X = 2  # the unknown value in ternary simulation
+
+    def evaluate_ternary(
+        self,
+        input_values: dict[str, int],
+        fault: tuple[str, int] | None = None,
+    ) -> dict[str, int]:
+        """Scalar 3-valued simulation: each net is 0, 1, or X (=2).
+
+        X propagates pessimistically (an AND with a 0 input is 0 regardless
+        of X's; an XOR with any X input is X), which makes ternary results a
+        *sound over-approximation* of every concrete filling of the X
+        inputs — the property don't-care identification relies on.
+        """
+        X = self.X
+        values: dict[str, int] = {}
+
+        def apply_fault(net: str, value: int) -> int:
+            if fault is not None and fault[0] == net:
+                return fault[1]
+            return value
+
+        for net in self.inputs:
+            value = input_values[net]
+            if value not in (0, 1, X):
+                raise ValueError(f"ternary value must be 0, 1, or {X}")
+            values[net] = apply_fault(net, value)
+
+        def ternary_and(operands: list[int]) -> int:
+            if any(value == 0 for value in operands):
+                return 0
+            if any(value == X for value in operands):
+                return X
+            return 1
+
+        def ternary_or(operands: list[int]) -> int:
+            if any(value == 1 for value in operands):
+                return 1
+            if any(value == X for value in operands):
+                return X
+            return 0
+
+        def ternary_not(value: int) -> int:
+            return X if value == X else 1 - value
+
+        for gate in self._order:
+            operands = [values[net] for net in gate.inputs]
+            if gate.gate_type is GateType.AND:
+                result = ternary_and(operands)
+            elif gate.gate_type is GateType.OR:
+                result = ternary_or(operands)
+            elif gate.gate_type is GateType.NAND:
+                result = ternary_not(ternary_and(operands))
+            elif gate.gate_type is GateType.NOR:
+                result = ternary_not(ternary_or(operands))
+            elif gate.gate_type in (GateType.XOR, GateType.XNOR):
+                if any(value == X for value in operands):
+                    result = X
+                else:
+                    result = 0
+                    for value in operands:
+                        result ^= value
+                    if gate.gate_type is GateType.XNOR:
+                        result = 1 - result
+            elif gate.gate_type is GateType.NOT:
+                result = ternary_not(operands[0])
+            else:  # BUF
+                result = operands[0]
+            values[gate.output] = apply_fault(gate.output, result)
+        return values
+
+
+# -- circuit builders -----------------------------------------------------------
+
+
+def and_tree(width: int = 16) -> Netlist:
+    """Balanced AND tree — the canonical random-pattern-resistant circuit.
+
+    Its output is 1 only when *all* inputs are 1: probability ``2^-width``
+    under uniform random patterns, so faults near the output are
+    random-pattern resistant (the 10C/weighted-BIST motivation).
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    inputs = [f"i{index}" for index in range(width)]
+    gates = []
+    level = list(inputs)
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for pair_index in range(0, len(level), 2):
+            output = f"a{stage}_{pair_index // 2}"
+            gates.append(Gate(GateType.AND, output, (level[pair_index], level[pair_index + 1])))
+            next_level.append(output)
+        level = next_level
+        stage += 1
+    # Rename final output.
+    final = gates[-1]
+    gates[-1] = Gate(GateType.AND, "out", final.inputs)
+    return Netlist(inputs, ["out"], gates)
+
+
+def xor_chain(width: int = 16) -> Netlist:
+    """XOR chain — every fault is trivially observable (parity propagates)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    inputs = [f"i{index}" for index in range(width)]
+    gates = [Gate(GateType.XOR, "x0", (inputs[0], inputs[1]))]
+    for index in range(2, width):
+        gates.append(Gate(GateType.XOR, f"x{index - 1}", (f"x{index - 2}", inputs[index])))
+    final = gates[-1]
+    gates[-1] = Gate(GateType.XOR, "out", final.inputs)
+    return Netlist(inputs, ["out"], gates)
+
+
+def random_netlist(
+    num_inputs: int = 12,
+    num_gates: int = 60,
+    num_outputs: int | None = None,
+    seed: int = 0,
+) -> Netlist:
+    """Random DAG of 2-input gates (deterministic per seed).
+
+    Every *sink* gate (one whose output feeds no other gate) becomes a
+    primary output, so the netlist has no dangling logic and every net lies
+    in some output cone — real circuits have no unobservable-by-construction
+    gates, and fault-coverage numbers would be meaningless otherwise.
+    ``num_outputs`` is accepted for API stability but only caps nothing; the
+    sink set defines the outputs.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    inputs = [f"i{index}" for index in range(num_inputs)]
+    available = list(inputs)
+    gates = []
+    kinds = [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR]
+    for index in range(num_gates):
+        a, b = rng.choice(len(available), size=2, replace=True)
+        while a == b:
+            b = int(rng.integers(0, len(available)))
+        gate_type = kinds[int(rng.integers(0, len(kinds)))]
+        output = f"g{index}"
+        gates.append(Gate(gate_type, output, (available[int(a)], available[int(b)])))
+        available.append(output)
+    consumed = {net for gate in gates for net in gate.inputs}
+    outputs = [gate.output for gate in gates if gate.output not in consumed]
+    return Netlist(inputs, outputs, gates)
+
+
+def two_tower(width: int = 16) -> Netlist:
+    """Two AND towers over disjoint input halves, plus a parity observer.
+
+    The parity output makes every *input* trivially observable, so uniform
+    BIST covers the easy faults fast — but the towers' internal AND nodes
+    need their whole input half at 1 and are random-pattern resistant.
+    Detecting a fault in one tower leaves the other half of the inputs
+    completely unconstrained, so relaxed deterministic patterns carry ~50 %
+    don't-cares: the circuit exercises BIST saturation, top-up ATPG, and
+    X-identification all at once.
+    """
+    if width < 4 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 4")
+    half = width // 2
+    inputs = [f"i{index}" for index in range(width)]
+    gates: list[Gate] = []
+
+    def build_tower(tag: str, nets: list[str]) -> str:
+        level = list(nets)
+        stage = 0
+        while len(level) > 1:
+            next_level = []
+            for pair in range(0, len(level), 2):
+                output = f"{tag}{stage}_{pair // 2}"
+                gates.append(Gate(GateType.AND, output, (level[pair], level[pair + 1])))
+                next_level.append(output)
+            level = next_level
+            stage += 1
+        return level[0]
+
+    top_a = build_tower("ta", inputs[:half])
+    top_b = build_tower("tb", inputs[half:])
+    gates.append(Gate(GateType.XOR, "p0", (inputs[0], inputs[1])))
+    for index in range(2, width):
+        gates.append(Gate(GateType.XOR, f"p{index - 1}", (f"p{index - 2}", inputs[index])))
+    return Netlist(inputs, [top_a, top_b, f"p{width - 2}"], gates)
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark (6 NAND gates) — the classic smoke test."""
+    gates = [
+        Gate(GateType.NAND, "n10", ("i1", "i3")),
+        Gate(GateType.NAND, "n11", ("i3", "i6")),
+        Gate(GateType.NAND, "n16", ("i2", "n11")),
+        Gate(GateType.NAND, "n19", ("n11", "i7")),
+        Gate(GateType.NAND, "o22", ("n10", "n16")),
+        Gate(GateType.NAND, "o23", ("n16", "n19")),
+    ]
+    return Netlist(["i1", "i2", "i3", "i6", "i7"], ["o22", "o23"], gates)

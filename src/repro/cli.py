@@ -1,0 +1,387 @@
+"""Command-line interface.
+
+Installs as the ``repro`` console script (see ``pyproject.toml``); every
+subcommand is also reachable via ``python -m repro.cli``.
+
+Subcommands
+-----------
+``kernels``
+    List the bundled embedded kernels.
+``run KERNEL``
+    Execute a kernel on the ISS; print execution statistics; optionally save
+    the data trace (``--save-trace out.npz``).
+``disasm KERNEL``
+    Disassemble a kernel back to assembler text.
+``profile SOURCE``
+    Print the access-profile summary and the hottest blocks of a kernel name
+    or a saved ``.npz``/``.trc`` trace.
+``optimize SOURCE``
+    Run the clustering + partitioning flow (E1) and print the three-way
+    energy comparison.
+``compress KERNEL``
+    Run a kernel on a platform with and without a compression codec (E2).
+``encode KERNEL``
+    Print the instruction-bus encoder scoreboard (E3).
+``codecomp KERNEL``
+    Sweep selective code compression (EX5).
+``bist``
+    BIST coverage + deterministic top-up demo (EX8).
+``phases SOURCE``
+    Detect program phases in a trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .compress import BDICodec, DifferentialCodec, LZWCodec, ZeroRunCodec
+from .core import optimize_memory_layout
+from .encoding import TransformSelector
+from .isa import CPU, disassemble_program, kernel_names, load_kernel
+from .platforms import risc_platform, vliw_platform
+from .report import bar_chart, histogram, render_table
+from .trace import (
+    AccessProfile,
+    PhaseDetector,
+    Trace,
+    address_entropy,
+    dominant_stride,
+    load_npz,
+    load_text,
+    region_stickiness,
+    save_npz,
+)
+
+__all__ = ["main", "build_parser"]
+
+_CODECS = {
+    "differential": DifferentialCodec,
+    "zero_run": ZeroRunCodec,
+    "lzw": LZWCodec,
+    "bdi": BDICodec,
+}
+
+
+def _load_trace(source: str) -> Trace:
+    """Resolve a trace source: a kernel name or a trace file path."""
+    path = Path(source)
+    if path.suffix == ".npz" and path.exists():
+        return load_npz(path)
+    if path.suffix == ".trc" and path.exists():
+        return load_text(path)
+    if source in kernel_names():
+        return CPU().run(load_kernel(source)).data_trace
+    raise SystemExit(
+        f"error: {source!r} is neither an existing trace file nor a kernel "
+        f"(kernels: {', '.join(kernel_names())})"
+    )
+
+
+# -- subcommand implementations ----------------------------------------------------
+
+
+def cmd_kernels(_args) -> int:
+    for name in kernel_names():
+        program = load_kernel(name)
+        print(f"{name:16s} text={program.text_size:6d}B data={program.data_size:6d}B")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = load_kernel(args.kernel)
+    result = CPU().run(program)
+    reads, writes = result.data_trace.read_write_counts()
+    print(f"kernel:       {program.name}")
+    print(f"instructions: {result.instructions_executed}")
+    print(f"data reads:   {reads}")
+    print(f"data writes:  {writes}")
+    print(f"footprint:    {result.data_trace.footprint(32)} blocks of 32 B")
+    if args.save_trace:
+        save_npz(result.data_trace, args.save_trace)
+        print(f"trace saved:  {args.save_trace}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(disassemble_program(load_kernel(args.kernel)), end="")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    trace = _load_trace(args.source)
+    profile = AccessProfile(trace.data_accesses(), block_size=args.block_size)
+    summary = profile.summary()
+    print(f"trace:             {trace.name}")
+    for key, value in summary.items():
+        print(f"{key + ':':19s}{value:.3f}")
+    data = trace.data_accesses()
+    stride, share = dominant_stride(data)
+    print(f"dominant stride:   {stride} ({share:.1%} of transitions)")
+    print(f"address entropy:   {address_entropy(data, args.block_size):.2f} bits")
+    print(f"region stickiness: {region_stickiness(data):.2f}")
+    hot = sorted(profile.access_counts().items(), key=lambda kv: -kv[1])[: args.top]
+    print()
+    if args.chart:
+        print(f"hottest {len(hot)} blocks ({args.block_size} B):")
+        print(
+            bar_chart(
+                [(f"{block * args.block_size:#x}", float(count)) for block, count in hot]
+            )
+        )
+        distances = [d for d in profile.reuse_histogram().elements() if d >= 0]
+        if distances:
+            print("\nreuse-distance distribution:")
+            print(histogram(distances, bins=8))
+    else:
+        print(
+            render_table(
+                ["block address", "accesses"],
+                [[f"{block * args.block_size:#x}", count] for block, count in hot],
+                title=f"hottest {len(hot)} blocks ({args.block_size} B)",
+            )
+        )
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    trace = _load_trace(args.source)
+    flow = optimize_memory_layout(
+        trace,
+        block_size=args.block_size,
+        max_banks=args.banks,
+        strategy=args.strategy,
+    )
+    rows = [
+        ["monolithic", 1, flow.monolithic.simulated.total, "baseline"],
+        [
+            "partitioned",
+            flow.partitioned.spec.num_banks,
+            flow.partitioned.simulated.total,
+            f"-{flow.partitioning_saving_vs_monolithic:.1%}",
+        ],
+        [
+            "clustered+partitioned",
+            flow.clustered.spec.num_banks,
+            flow.clustered.simulated.total,
+            f"-{flow.saving_vs_monolithic:.1%}",
+        ],
+    ]
+    print(render_table(["organization", "banks", "energy (pJ)", "vs monolithic"], rows))
+    print(f"\nclustering saves {flow.saving_vs_partitioned:.1%} vs partitioning alone")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    make = {"risc": risc_platform, "vliw": vliw_platform}[args.platform]
+    program = load_kernel(args.kernel)
+    base = make(None).run_program(program)
+    codec = _CODECS[args.codec]()
+    comp = make(codec).run_program(program)
+    rows = [
+        ["(none)", base.breakdown.total, base.offchip_bytes, "0.0%"],
+        [
+            codec.name,
+            comp.breakdown.total,
+            comp.offchip_bytes,
+            f"{comp.breakdown.saving_vs(base.breakdown):.1%}",
+        ],
+    ]
+    print(
+        render_table(
+            ["codec", "energy (pJ)", "off-chip bytes", "saving"],
+            rows,
+            title=f"{args.kernel} on {args.platform}",
+        )
+    )
+    return 0
+
+
+def cmd_encode(args) -> int:
+    result = CPU().run(load_kernel(args.kernel))
+    words = [event.value for event in result.instruction_trace]
+    selection = TransformSelector(width=32).select(words)
+    rows = [
+        [
+            report.encoder_name,
+            report.total_transitions,
+            f"{report.reduction:+.1%}",
+            "selected" if report is selection.best_report else "",
+        ]
+        for report in selection.scoreboard
+    ]
+    print(
+        render_table(
+            ["encoder", "transitions", "reduction", ""],
+            rows,
+            title=f"instruction-bus encoders on {args.kernel}",
+        )
+    )
+    return 0
+
+
+def cmd_codecomp(args) -> int:
+    from .codecomp import SelectiveCodeCompressor
+
+    program = load_kernel(args.kernel)
+    compressor = SelectiveCodeCompressor()
+    trace, counts = compressor.profile(program)
+    rows = []
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        layout = compressor.build_layout(program, counts, fraction=fraction)
+        report = compressor.evaluate(layout, trace)
+        rows.append(
+            [f"{fraction:.2f}", layout.stored_size,
+             f"{report.size_reduction:+.1%}", f"{report.slowdown:+.2%}"]
+        )
+    print(
+        render_table(
+            ["fraction", "stored bytes", "size reduction", "slowdown"],
+            rows,
+            title=f"selective code compression on {args.kernel} "
+                  f"({program.text_size} B of code)",
+        )
+    )
+    return 0
+
+
+def cmd_bist(args) -> int:
+    from .circuit import (
+        FaultSimulator,
+        enumerate_faults,
+        lfsr_patterns,
+        top_up_patterns,
+        two_tower,
+    )
+
+    netlist = two_tower(args.width)
+    simulator = FaultSimulator(netlist)
+    patterns = lfsr_patterns(netlist.inputs, args.patterns, seed=args.seed)
+    checkpoints = sorted({max(1, args.patterns // 64), args.patterns // 8, args.patterns})
+    curve = simulator.coverage_curve(patterns, checkpoints)
+    print(
+        render_table(
+            ["LFSR patterns", "coverage"],
+            [[count, f"{coverage:.1%}"] for count, coverage in curve],
+            title=f"BIST on two_tower({args.width})",
+        )
+    )
+    result = simulator.simulate(patterns)
+    residue = [f for f in enumerate_faults(netlist) if f not in result.detected]
+    if residue:
+        topup = top_up_patterns(netlist, residue, seed=args.seed, max_tries=2000)
+        final = simulator.simulate(patterns + topup.patterns)
+        print(
+            f"\nresidue {len(residue)} faults -> {len(topup.patterns)} stored "
+            f"patterns, {len(topup.abandoned)} abandoned, "
+            f"final coverage {final.coverage:.1%}"
+        )
+    else:
+        print("\nno residue: pseudo-random patterns suffice")
+    return 0
+
+
+def cmd_phases(args) -> int:
+    trace = _load_trace(args.source)
+    detector = PhaseDetector(
+        window=args.window, num_clusters=args.clusters, block_size=args.block_size
+    )
+    segmentation = detector.detect(trace.data_accesses())
+    rows = [
+        [index, phase.cluster, phase.start_event, phase.end_event, phase.num_events]
+        for index, phase in enumerate(segmentation.phases)
+    ]
+    print(
+        render_table(
+            ["#", "cluster", "start", "end", "events"],
+            rows,
+            title=f"{segmentation.num_phases} phases in {trace.name}",
+        )
+    )
+    return 0
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Energy-efficient embedded memory toolkit (DATE 2003)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("kernels", help="list bundled kernels").set_defaults(func=cmd_kernels)
+
+    run = subparsers.add_parser("run", help="execute a kernel on the ISS")
+    run.add_argument("kernel", choices=kernel_names())
+    run.add_argument("--save-trace", metavar="OUT.npz", default=None)
+    run.set_defaults(func=cmd_run)
+
+    disasm = subparsers.add_parser("disasm", help="disassemble a kernel")
+    disasm.add_argument("kernel", choices=kernel_names())
+    disasm.set_defaults(func=cmd_disasm)
+
+    profile = subparsers.add_parser("profile", help="profile a kernel or trace file")
+    profile.add_argument("source")
+    profile.add_argument("--block-size", type=int, default=32)
+    profile.add_argument("--top", type=int, default=10)
+    profile.add_argument("--chart", action="store_true", help="render bar charts")
+    profile.set_defaults(func=cmd_profile)
+
+    optimize = subparsers.add_parser("optimize", help="run the E1 clustering flow")
+    optimize.add_argument("source")
+    optimize.add_argument("--block-size", type=int, default=32)
+    optimize.add_argument("--banks", type=int, default=4)
+    optimize.add_argument(
+        "--strategy", choices=["identity", "frequency", "affinity", "random"],
+        default="affinity",
+    )
+    optimize.set_defaults(func=cmd_optimize)
+
+    compress = subparsers.add_parser("compress", help="run the E2 compression comparison")
+    compress.add_argument("kernel", choices=kernel_names())
+    compress.add_argument("--platform", choices=["risc", "vliw"], default="risc")
+    compress.add_argument("--codec", choices=sorted(_CODECS), default="differential")
+    compress.set_defaults(func=cmd_compress)
+
+    encode = subparsers.add_parser("encode", help="run the E3 encoder scoreboard")
+    encode.add_argument("kernel", choices=kernel_names())
+    encode.set_defaults(func=cmd_encode)
+
+    codecomp = subparsers.add_parser(
+        "codecomp", help="sweep selective code compression on a kernel"
+    )
+    codecomp.add_argument("kernel", choices=kernel_names())
+    codecomp.set_defaults(func=cmd_codecomp)
+
+    bist = subparsers.add_parser("bist", help="BIST coverage + top-up demo (EX8)")
+    bist.add_argument("--width", type=int, default=32)
+    bist.add_argument("--patterns", type=int, default=512)
+    bist.add_argument("--seed", type=int, default=7)
+    bist.set_defaults(func=cmd_bist)
+
+    phases = subparsers.add_parser("phases", help="detect program phases in a trace")
+    phases.add_argument("source")
+    phases.add_argument("--window", type=int, default=512)
+    phases.add_argument("--clusters", type=int, default=3)
+    phases.add_argument("--block-size", type=int, default=32)
+    phases.set_defaults(func=cmd_phases)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Profile-driven selective code compression (extension EX5)."""
+
+from .dictionary import WordDictionaryCodec
+from .selective import CodeCompressionReport, CompressedCodeLayout, SelectiveCodeCompressor
+
+__all__ = [
+    "WordDictionaryCodec",
+    "SelectiveCodeCompressor",
+    "CompressedCodeLayout",
+    "CodeCompressionReport",
+]

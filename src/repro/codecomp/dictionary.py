@@ -1,0 +1,115 @@
+"""Word-dictionary code compression.
+
+The classic embedded code-compression scheme (and the style the DATE 2003
+session 6A paper builds on): profile the program text, put the most frequent
+instruction words into a small dictionary, and store each instruction as
+either a 1-byte dictionary index or an escape byte plus the raw word.
+Decompression is a single table lookup — cheap enough for the fetch path.
+
+The codec works on *blocks* of instructions (a cache-line's worth), because
+that is the unit the decompressor handles on an I-cache refill.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+__all__ = ["WordDictionaryCodec"]
+
+_ESCAPE = 0xFF
+_MAX_DICTIONARY = 255  # indices 0..254; 255 is the escape marker
+
+
+class WordDictionaryCodec:
+    """Dictionary codec over 32-bit instruction words.
+
+    Parameters
+    ----------
+    dictionary:
+        Ordered list of words (index = position).  Build one from a program
+        with :meth:`fit`.
+    """
+
+    def __init__(self, dictionary: Sequence[int]) -> None:
+        if len(dictionary) > _MAX_DICTIONARY:
+            raise ValueError(f"dictionary holds at most {_MAX_DICTIONARY} words")
+        if len(set(dictionary)) != len(dictionary):
+            raise ValueError("dictionary entries must be unique")
+        for word in dictionary:
+            if not 0 <= word < (1 << 32):
+                raise ValueError(f"dictionary word out of range: {word:#x}")
+        self.dictionary = list(dictionary)
+        self._index = {word: index for index, word in enumerate(self.dictionary)}
+
+    @classmethod
+    def fit(
+        cls,
+        words: Iterable[int],
+        max_entries: int = _MAX_DICTIONARY,
+        weights: dict[int, int] | None = None,
+    ) -> "WordDictionaryCodec":
+        """Build a dictionary of the most frequent words.
+
+        ``weights`` (e.g. dynamic fetch counts) override the static frequency
+        of each word when provided — the profile-driven variant.
+        """
+        if not 0 < max_entries <= _MAX_DICTIONARY:
+            raise ValueError(f"max_entries must be in [1, {_MAX_DICTIONARY}]")
+        counts = Counter(words)
+        if weights:
+            for word in counts:
+                counts[word] += weights.get(word, 0)
+        ranked = [word for word, _count in counts.most_common(max_entries)]
+        return cls(ranked)
+
+    @property
+    def table_bytes(self) -> int:
+        """Size of the decompression table (4 bytes per entry)."""
+        return 4 * len(self.dictionary)
+
+    # -- block codec ---------------------------------------------------------
+
+    def compress_block(self, words: Sequence[int]) -> bytes:
+        """Compress one block of instruction words."""
+        out = bytearray()
+        for word in words:
+            if not 0 <= word < (1 << 32):
+                raise ValueError(f"word out of range: {word:#x}")
+            index = self._index.get(word)
+            if index is not None:
+                out.append(index)
+            else:
+                out.append(_ESCAPE)
+                out.extend(word.to_bytes(4, "little"))
+        return bytes(out)
+
+    def decompress_block(self, payload: bytes, num_words: int) -> list[int]:
+        """Exact inverse of :meth:`compress_block`."""
+        words: list[int] = []
+        cursor = 0
+        while len(words) < num_words:
+            if cursor >= len(payload):
+                raise ValueError("truncated compressed block")
+            tag = payload[cursor]
+            cursor += 1
+            if tag == _ESCAPE:
+                if cursor + 4 > len(payload):
+                    raise ValueError("truncated escape word")
+                words.append(int.from_bytes(payload[cursor : cursor + 4], "little"))
+                cursor += 4
+            else:
+                if tag >= len(self.dictionary):
+                    raise ValueError(f"corrupt stream: index {tag}")
+                words.append(self.dictionary[tag])
+        return words
+
+    def compressed_size(self, words: Sequence[int]) -> int:
+        """Bytes the block occupies when compressed."""
+        return len(self.compress_block(words))
+
+    def block_ratio(self, words: Sequence[int]) -> float:
+        """Compressed/original size ratio of one block."""
+        if not words:
+            return 1.0
+        return self.compressed_size(words) / (4 * len(words))

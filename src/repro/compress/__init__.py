@@ -1,0 +1,22 @@
+"""Cache-line compression: differential (1B-2), zero-run and LZW baselines."""
+
+from .base import CompressedLine, LineCodec
+from .bdi import BDICodec
+from .bits import BitReader, BitWriter
+from .differential import DifferentialCodec
+from .lzw import LZWCodec
+from .unit import CompressionUnit, UnitStats
+from .zero_run import ZeroRunCodec
+
+__all__ = [
+    "CompressedLine",
+    "LineCodec",
+    "BitReader",
+    "BitWriter",
+    "DifferentialCodec",
+    "BDICodec",
+    "ZeroRunCodec",
+    "LZWCodec",
+    "CompressionUnit",
+    "UnitStats",
+]

@@ -1,0 +1,59 @@
+"""Codec interface shared by all line compressors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompressedLine", "LineCodec"]
+
+
+@dataclass(frozen=True)
+class CompressedLine:
+    """Result of compressing one cache line.
+
+    ``payload`` carries ``bit_length`` meaningful bits (byte-padded); the
+    energy models charge for ``transfer_bytes`` — what actually crosses the
+    bus, rounded up to whole bytes.
+    """
+
+    payload: bytes
+    bit_length: int
+    original_bytes: int
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Bytes that must cross the bus/memory interface."""
+        return (self.bit_length + 7) // 8
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio: compressed bits / original bits (lower = better)."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.bit_length / (8 * self.original_bytes)
+
+    @property
+    def saved_bytes(self) -> int:
+        """Bytes saved on the wire (never negative thanks to codec escape paths)."""
+        return max(0, self.original_bytes - self.transfer_bytes)
+
+
+class LineCodec:
+    """Base class for lossless cache-line codecs.
+
+    Subclasses implement :meth:`compress` and :meth:`decompress`; every codec
+    must round-trip exactly (property-tested in the suite).  Codecs are
+    required to be *bounded*: compressed output never exceeds the original
+    size by more than one tag byte (the escape header), so a hardware unit
+    can always fall back to raw transfer.
+    """
+
+    name = "codec"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        """Compress one line."""
+        raise NotImplementedError
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Reconstruct the original line exactly."""
+        raise NotImplementedError

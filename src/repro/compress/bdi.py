@@ -1,0 +1,153 @@
+"""Base-Delta-Immediate (BDI) codec.
+
+A fixed-layout hardware codec in the style of Pekhimenko et al.: the line is
+viewed as ``B``-byte values; each value is stored as a small fixed-width
+delta from either a single explicit base (the line's first value) or the
+implicit zero base, selected per element by a one-bit mask.  All widths are
+fixed per line, so the hardware is a row of subtractors — even simpler than
+the variable-tag differential codec, at the cost of compression ratio.
+
+Candidate schemes tried per line (smallest encodable wins):
+
+====  =====================  =========================
+tag   scheme                 payload
+====  =====================  =========================
+0     all-zero line          nothing
+1     repeated 8-byte value  8 bytes
+2–7   base ``B`` / delta ``D``  base + mask + n·D deltas
+15    raw escape             original bytes
+====  =====================  =========================
+
+with (B, D) ∈ {(8,1), (8,2), (8,4), (4,1), (4,2), (2,1)}.
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, LineCodec
+from .bits import BitReader, BitWriter
+
+__all__ = ["BDICodec"]
+
+_SCHEMES: list[tuple[int, int]] = [(8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)]
+_TAG_ZERO, _TAG_REPEAT, _TAG_RAW = 0, 1, 15
+_TAG_BASE = 2  # tags 2..7 map to _SCHEMES indices 0..5
+
+
+def _values(data: bytes, width: int) -> list[int]:
+    return [
+        int.from_bytes(data[index : index + width], "little")
+        for index in range(0, len(data), width)
+    ]
+
+
+def _fits_signed(delta: int, width_bytes: int) -> bool:
+    bound = 1 << (8 * width_bytes - 1)
+    return -bound <= delta < bound
+
+
+def _signed_delta(value: int, base: int, width_bytes: int) -> int:
+    mask = (1 << (8 * width_bytes)) - 1
+    delta = (value - base) & mask
+    return delta - (mask + 1) if delta & ((mask + 1) >> 1) else delta
+
+
+class BDICodec(LineCodec):
+    """Fixed-width base+delta codec with an implicit zero base."""
+
+    name = "bdi"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        """Pick the cheapest encodable scheme for the line."""
+        if not data:
+            return CompressedLine(payload=b"", bit_length=0, original_bytes=0)
+        if len(data) % 8:
+            raise ValueError(f"BDI needs 8-byte-aligned lines, got {len(data)}")
+
+        candidates: list[BitWriter] = []
+
+        if all(byte == 0 for byte in data):
+            writer = BitWriter()
+            writer.write(_TAG_ZERO, 4)
+            candidates.append(writer)
+
+        first8 = data[:8]
+        if data == first8 * (len(data) // 8):
+            writer = BitWriter()
+            writer.write(_TAG_REPEAT, 4)
+            for byte in first8:
+                writer.write(byte, 8)
+            candidates.append(writer)
+
+        for scheme_index, (base_bytes, delta_bytes) in enumerate(_SCHEMES):
+            encoded = self._try_base_delta(data, base_bytes, delta_bytes, scheme_index)
+            if encoded is not None:
+                candidates.append(encoded)
+
+        raw = BitWriter()
+        raw.write(_TAG_RAW, 4)
+        for byte in data:
+            raw.write(byte, 8)
+        candidates.append(raw)
+
+        best = min(candidates, key=lambda writer: writer.bit_length)
+        return CompressedLine(
+            payload=best.getvalue(), bit_length=best.bit_length, original_bytes=len(data)
+        )
+
+    def _try_base_delta(
+        self, data: bytes, base_bytes: int, delta_bytes: int, scheme_index: int
+    ) -> BitWriter | None:
+        values = _values(data, base_bytes)
+        base = values[0]
+        mask_bits = []
+        deltas = []
+        for value in values:
+            from_base = _signed_delta(value, base, base_bytes)
+            from_zero = _signed_delta(value, 0, base_bytes)
+            if _fits_signed(from_zero, delta_bytes):
+                mask_bits.append(0)  # zero base
+                deltas.append(from_zero)
+            elif _fits_signed(from_base, delta_bytes):
+                mask_bits.append(1)  # explicit base
+                deltas.append(from_base)
+            else:
+                return None
+        writer = BitWriter()
+        writer.write(_TAG_BASE + scheme_index, 4)
+        writer.write(base, 8 * base_bytes)
+        for bit in mask_bits:
+            writer.write_bit(bit)
+        delta_mask = (1 << (8 * delta_bytes)) - 1
+        for delta in deltas:
+            writer.write(delta & delta_mask, 8 * delta_bytes)
+        return writer
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Exact inverse of :meth:`compress`."""
+        if line.original_bytes == 0:
+            return b""
+        reader = BitReader(line.payload, line.bit_length)
+        tag = reader.read(4)
+        if tag == _TAG_ZERO:
+            return bytes(line.original_bytes)
+        if tag == _TAG_REPEAT:
+            pattern = bytes(reader.read(8) for _ in range(8))
+            return pattern * (line.original_bytes // 8)
+        if tag == _TAG_RAW:
+            return bytes(reader.read(8) for _ in range(line.original_bytes))
+        scheme_index = tag - _TAG_BASE
+        if not 0 <= scheme_index < len(_SCHEMES):
+            raise ValueError(f"corrupt BDI stream: tag {tag}")
+        base_bytes, delta_bytes = _SCHEMES[scheme_index]
+        count = line.original_bytes // base_bytes
+        base = reader.read(8 * base_bytes)
+        mask_bits = [reader.read_bit() for _ in range(count)]
+        value_mask = (1 << (8 * base_bytes)) - 1
+        out = bytearray()
+        for bit in mask_bits:
+            raw = reader.read(8 * delta_bytes)
+            sign = 1 << (8 * delta_bytes - 1)
+            delta = raw - (1 << (8 * delta_bytes)) if raw & sign else raw
+            reference = base if bit else 0
+            out.extend(((reference + delta) & value_mask).to_bytes(base_bytes, "little"))
+        return bytes(out)

@@ -1,0 +1,82 @@
+"""Bit-level I/O used by the compressors.
+
+Hardware compression units emit *bit* streams, not byte streams; compression
+ratios in the 1B-2 paper are measured in bits on the wire.  These two small
+classes give every codec an exact, lossless bit-packing substrate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a growing buffer."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append the low ``width`` bits of ``value``, MSB first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._bits.append(bit)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """The bit stream padded with zeros to a whole number of bytes."""
+        padded = self._bits + [0] * (-len(self._bits) % 8)
+        out = bytearray()
+        for start in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[start : start + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer."""
+
+    def __init__(self, payload: bytes, bit_length: int | None = None) -> None:
+        self._payload = payload
+        self._limit = 8 * len(payload) if bit_length is None else bit_length
+        if self._limit > 8 * len(payload):
+            raise ValueError("bit_length exceeds payload size")
+        self._cursor = 0
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._cursor + width > self._limit:
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            byte = self._payload[self._cursor // 8]
+            bit = (byte >> (7 - self._cursor % 8)) & 1
+            value = (value << 1) | bit
+            self._cursor += 1
+        return value
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return self.read(1)
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left before the stream ends."""
+        return self._limit - self._cursor

@@ -1,0 +1,123 @@
+"""Differential cache-line compression (the 1B-2 algorithm).
+
+The paper compresses each data-cache line *on the fly* before write-back to
+main memory and decompresses it on refill.  The algorithm is differential:
+within a line, consecutive 32-bit words tend to be numerically close (array
+data, pointers into one region, pixel rows), so each word after the first is
+encoded as a delta from its predecessor with a short tag selecting the delta
+width.
+
+Per line (``W`` words of 32 bits):
+
+* 1 header bit — ``0``: raw line escape (incompressible lines cost 1 extra
+  bit, never more); ``1``: compressed format;
+* word 0 raw (32 bits);
+* for each following word a 2-bit tag and a payload:
+
+  ====  ===================  ================
+  tag   meaning              payload bits
+  ====  ===================  ================
+  00    delta == 0           0
+  01    delta in ±2⁷⁻¹       8  (two's complement)
+  10    delta in ±2¹⁵⁻¹      16 (two's complement)
+  11    raw word             32
+  ====  ===================  ================
+
+The hardware unit of the paper does exactly this class of work: an adder, a
+comparator tree, and a small shifter — see
+:class:`repro.compress.unit.CompressionUnit` for its energy model.
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, LineCodec
+from .bits import BitReader, BitWriter
+
+__all__ = ["DifferentialCodec"]
+
+_WORD = 4
+_TAG_ZERO, _TAG_BYTE, _TAG_HALF, _TAG_RAW = 0b00, 0b01, 0b10, 0b11
+
+
+def _to_words(data: bytes) -> list[int]:
+    if len(data) % _WORD:
+        raise ValueError(f"line length {len(data)} is not a multiple of {_WORD}")
+    return [int.from_bytes(data[i : i + _WORD], "little") for i in range(0, len(data), _WORD)]
+
+
+def _signed_delta(current: int, previous: int) -> int:
+    """Wrap-around 32-bit difference, returned in [-2³¹, 2³¹)."""
+    delta = (current - previous) & 0xFFFFFFFF
+    return delta - (1 << 32) if delta & (1 << 31) else delta
+
+
+class DifferentialCodec(LineCodec):
+    """Base + variable-width-delta codec over 32-bit words."""
+
+    name = "differential"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        """Compress a line; falls back to raw (1-bit overhead) when unprofitable."""
+        if not data:
+            return CompressedLine(payload=b"", bit_length=0, original_bytes=0)
+        words = _to_words(data)
+        writer = BitWriter()
+        writer.write_bit(1)  # compressed marker (may be rewritten below)
+        writer.write(words[0], 32)
+        previous = words[0]
+        for word in words[1:]:
+            delta = _signed_delta(word, previous)
+            if delta == 0:
+                writer.write(_TAG_ZERO, 2)
+            elif -128 <= delta < 128:
+                writer.write(_TAG_BYTE, 2)
+                writer.write(delta & 0xFF, 8)
+            elif -32768 <= delta < 32768:
+                writer.write(_TAG_HALF, 2)
+                writer.write(delta & 0xFFFF, 16)
+            else:
+                writer.write(_TAG_RAW, 2)
+                writer.write(word, 32)
+            previous = word
+
+        raw_bits = 1 + 8 * len(data)
+        if writer.bit_length >= raw_bits:
+            # Escape: raw line with a 0 header bit.
+            escape = BitWriter()
+            escape.write_bit(0)
+            for byte in data:
+                escape.write(byte, 8)
+            return CompressedLine(
+                payload=escape.getvalue(), bit_length=escape.bit_length, original_bytes=len(data)
+            )
+        return CompressedLine(
+            payload=writer.getvalue(), bit_length=writer.bit_length, original_bytes=len(data)
+        )
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Exact inverse of :meth:`compress`."""
+        if line.original_bytes == 0:
+            return b""
+        reader = BitReader(line.payload, line.bit_length)
+        if reader.read_bit() == 0:
+            return bytes(reader.read(8) for _ in range(line.original_bytes))
+        num_words = line.original_bytes // _WORD
+        words = [reader.read(32)]
+        previous = words[0]
+        for _ in range(num_words - 1):
+            tag = reader.read(2)
+            if tag == _TAG_ZERO:
+                word = previous
+            elif tag == _TAG_BYTE:
+                raw = reader.read(8)
+                delta = raw - 256 if raw >= 128 else raw
+                word = (previous + delta) & 0xFFFFFFFF
+            elif tag == _TAG_HALF:
+                raw = reader.read(16)
+                delta = raw - 65536 if raw >= 32768 else raw
+                word = (previous + delta) & 0xFFFFFFFF
+            else:
+                word = reader.read(32)
+            words.append(word)
+            previous = word
+        return b"".join(word.to_bytes(_WORD, "little") for word in words)

@@ -1,0 +1,109 @@
+"""LZW codec (dictionary baseline).
+
+The test-compression literature of the same DATE session (2C) leans on LZW;
+here it serves as the dictionary-based baseline in ablation A2: high ratios
+on long, repetitive payloads but poor on short cache lines (the dictionary
+never warms up within 32 bytes) and far more expensive in hardware.
+
+Variable-width LZW: the width of each emitted code is recomputed from the
+current dictionary size (9 bits minimum, ``max_width`` maximum), and the
+decoder recomputes the identical width from *its* dictionary size — which
+trails the encoder's by exactly one entry, an offset accounted for below.
+When the dictionary fills it is frozen; no reset, so both sides stay
+trivially in lock-step.  A leading escape bit allows a raw fallback, keeping
+the codec bounded like the others.
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, LineCodec
+from .bits import BitReader, BitWriter
+
+__all__ = ["LZWCodec"]
+
+
+class LZWCodec(LineCodec):
+    """Variable-width LZW over bytes (frozen dictionary when full)."""
+
+    name = "lzw"
+
+    def __init__(self, max_width: int = 12) -> None:
+        if not 9 <= max_width <= 20:
+            raise ValueError("max_width must be in [9, 20]")
+        self.max_width = max_width
+
+    def _width_for(self, highest_code: int) -> int:
+        """Bits needed to transmit any code in ``[0, highest_code]``."""
+        return min(self.max_width, max(9, highest_code.bit_length()))
+
+    # -- encoding ------------------------------------------------------------
+
+    def compress(self, data: bytes) -> CompressedLine:
+        """Compress ``data``; raw-escape when LZW expands it."""
+        if not data:
+            return CompressedLine(payload=b"", bit_length=0, original_bytes=0)
+        writer = BitWriter()
+        writer.write_bit(1)
+        dictionary: dict[bytes, int] = {bytes([i]): i for i in range(256)}
+        next_code = 256
+        limit = 1 << self.max_width
+        prefix = b""
+        for byte in data:
+            candidate = prefix + bytes([byte])
+            if candidate in dictionary:
+                prefix = candidate
+                continue
+            writer.write(dictionary[prefix], self._width_for(next_code - 1))
+            if next_code < limit:
+                dictionary[candidate] = next_code
+                next_code += 1
+            prefix = bytes([byte])
+        if prefix:
+            writer.write(dictionary[prefix], self._width_for(next_code - 1))
+
+        raw_bits = 1 + 8 * len(data)
+        if writer.bit_length >= raw_bits:
+            escape = BitWriter()
+            escape.write_bit(0)
+            for byte in data:
+                escape.write(byte, 8)
+            return CompressedLine(
+                payload=escape.getvalue(), bit_length=escape.bit_length, original_bytes=len(data)
+            )
+        return CompressedLine(
+            payload=writer.getvalue(), bit_length=writer.bit_length, original_bytes=len(data)
+        )
+
+    # -- decoding ------------------------------------------------------------
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Exact inverse of :meth:`compress`."""
+        if line.original_bytes == 0:
+            return b""
+        reader = BitReader(line.payload, line.bit_length)
+        if reader.read_bit() == 0:
+            return bytes(reader.read(8) for _ in range(line.original_bytes))
+
+        inverse: dict[int, bytes] = {i: bytes([i]) for i in range(256)}
+        next_code = 256
+        limit = 1 << self.max_width
+        out = bytearray()
+        previous: bytes | None = None
+        while len(out) < line.original_bytes:
+            # The encoder's dictionary is one entry ahead of ours (it adds
+            # the entry for this code before emitting the next one), except
+            # on the very first code and once the dictionary is frozen.
+            encoder_next = next_code if previous is None else min(next_code + 1, limit)
+            code = reader.read(self._width_for(encoder_next - 1))
+            if code in inverse:
+                entry = inverse[code]
+            elif code == next_code and previous is not None:
+                entry = previous + previous[:1]  # the classic KwKwK case
+            else:
+                raise ValueError(f"corrupt LZW stream: code {code}")
+            out.extend(entry)
+            if previous is not None and next_code < limit:
+                inverse[next_code] = previous + entry[:1]
+                next_code += 1
+            previous = entry
+        return bytes(out[: line.original_bytes])

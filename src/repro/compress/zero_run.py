@@ -1,0 +1,114 @@
+"""Frequent-pattern / zero-oriented codec (FPC-style baseline).
+
+A word-granular codec exploiting the two cheapest patterns in real data —
+all-zero words and small sign-extended values — without any differential
+state.  It is the "simpler hardware" baseline against which the differential
+codec of 1B-2 is compared in ablation A2.
+
+Per 32-bit word, a 3-bit prefix:
+
+====  ==========================  ============
+code  pattern                     payload bits
+====  ==========================  ============
+000   zero word                   0
+001   4-bit sign-extended         4
+010   8-bit sign-extended         8
+011   16-bit sign-extended        16
+100   16-bit padded (low half 0)  16
+111   raw word                    32
+====  ==========================  ============
+"""
+
+from __future__ import annotations
+
+from .base import CompressedLine, LineCodec
+from .bits import BitReader, BitWriter
+
+__all__ = ["ZeroRunCodec"]
+
+_WORD = 4
+
+
+def _sign_extends(value: int, bits: int) -> bool:
+    """Whether the 32-bit ``value`` is the sign extension of its low ``bits``."""
+    low = value & ((1 << bits) - 1)
+    if low & (1 << (bits - 1)):
+        return value == (low | (0xFFFFFFFF << bits)) & 0xFFFFFFFF
+    return value == low
+
+
+class ZeroRunCodec(LineCodec):
+    """Stateless frequent-pattern word codec."""
+
+    name = "zero_run"
+
+    def compress(self, data: bytes) -> CompressedLine:
+        """Compress a line; raw-escape when patterns do not pay off."""
+        if not data:
+            return CompressedLine(payload=b"", bit_length=0, original_bytes=0)
+        if len(data) % _WORD:
+            raise ValueError(f"line length {len(data)} is not a multiple of {_WORD}")
+        writer = BitWriter()
+        writer.write_bit(1)
+        for start in range(0, len(data), _WORD):
+            word = int.from_bytes(data[start : start + _WORD], "little")
+            if word == 0:
+                writer.write(0b000, 3)
+            elif _sign_extends(word, 4):
+                writer.write(0b001, 3)
+                writer.write(word & 0xF, 4)
+            elif _sign_extends(word, 8):
+                writer.write(0b010, 3)
+                writer.write(word & 0xFF, 8)
+            elif _sign_extends(word, 16):
+                writer.write(0b011, 3)
+                writer.write(word & 0xFFFF, 16)
+            elif word & 0xFFFF == 0:
+                writer.write(0b100, 3)
+                writer.write((word >> 16) & 0xFFFF, 16)
+            else:
+                writer.write(0b111, 3)
+                writer.write(word, 32)
+
+        raw_bits = 1 + 8 * len(data)
+        if writer.bit_length >= raw_bits:
+            escape = BitWriter()
+            escape.write_bit(0)
+            for byte in data:
+                escape.write(byte, 8)
+            return CompressedLine(
+                payload=escape.getvalue(), bit_length=escape.bit_length, original_bytes=len(data)
+            )
+        return CompressedLine(
+            payload=writer.getvalue(), bit_length=writer.bit_length, original_bytes=len(data)
+        )
+
+    def decompress(self, line: CompressedLine) -> bytes:
+        """Exact inverse of :meth:`compress`."""
+        if line.original_bytes == 0:
+            return b""
+        reader = BitReader(line.payload, line.bit_length)
+        if reader.read_bit() == 0:
+            return bytes(reader.read(8) for _ in range(line.original_bytes))
+        words = []
+        for _ in range(line.original_bytes // _WORD):
+            code = reader.read(3)
+            if code == 0b000:
+                word = 0
+            elif code == 0b001:
+                raw = reader.read(4)
+                word = (raw | (0xFFFFFFF0 if raw & 0x8 else 0)) & 0xFFFFFFFF
+            elif code == 0b010:
+                raw = reader.read(8)
+                word = (raw | (0xFFFFFF00 if raw & 0x80 else 0)) & 0xFFFFFFFF
+            elif code == 0b011:
+                raw = reader.read(16)
+                word = (raw | (0xFFFF0000 if raw & 0x8000 else 0)) & 0xFFFFFFFF
+            elif code == 0b100:
+                word = reader.read(16) << 16
+            elif code == 0b111:
+                word = reader.read(32)
+            else:
+                raise ValueError(f"corrupt stream: unknown prefix {code:#05b}")
+            words.append(word)
+        return b"".join(word.to_bytes(_WORD, "little") for word in words)

@@ -1,0 +1,38 @@
+"""Core contribution: address clustering and the clustering+partitioning flow."""
+
+from .api import optimize_memory_layout, trace_from_kernel
+from .clustering import (
+    AffinityClustering,
+    ClusteringStrategy,
+    FrequencyClustering,
+    IdentityClustering,
+    PhaseAwareClustering,
+    RandomClustering,
+    arrangement_cost,
+    get_strategy,
+    refine_order,
+)
+from .layout import BlockLayout
+from .phased import PhasedFlowResult, PhasedMemoryOptimizationFlow, migration_energy
+from .pipeline import FlowConfig, FlowResult, MemoryOptimizationFlow
+
+__all__ = [
+    "BlockLayout",
+    "ClusteringStrategy",
+    "IdentityClustering",
+    "FrequencyClustering",
+    "AffinityClustering",
+    "PhaseAwareClustering",
+    "RandomClustering",
+    "refine_order",
+    "arrangement_cost",
+    "get_strategy",
+    "FlowConfig",
+    "FlowResult",
+    "MemoryOptimizationFlow",
+    "PhasedFlowResult",
+    "PhasedMemoryOptimizationFlow",
+    "migration_energy",
+    "optimize_memory_layout",
+    "trace_from_kernel",
+]

@@ -1,0 +1,156 @@
+"""Phase-adaptive memory layout optimization (extension experiment EX1).
+
+The 1B-1 flow picks *one* layout for the whole execution.  Programs with
+distinct phases (initialize → stream → finalize, or per-frame mode changes)
+leave energy on the table: each phase has its own hot set.  This extension:
+
+1. detects phases with :class:`~repro.trace.phases.PhaseDetector`;
+2. runs the clustering+partitioning flow *per phase*;
+3. charges a **migration cost** at each phase boundary — every block whose
+   physical position changes must be copied through the memory (one read +
+   one write per word);
+4. compares the total against the best static layout.
+
+Phase-adaptive wins when phases are long and their hot sets differ; the
+migration charge keeps the comparison honest (rapid phase flapping loses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.energy import SRAMEnergyModel
+from ..trace.phases import PhaseDetector, PhaseSegmentation
+from ..trace.trace import Trace
+from .layout import BlockLayout
+from .pipeline import FlowConfig, FlowResult, MemoryOptimizationFlow
+
+__all__ = ["PhasedFlowResult", "PhasedMemoryOptimizationFlow", "migration_energy"]
+
+
+def migration_energy(
+    previous: BlockLayout,
+    current: BlockLayout,
+    sram_model: SRAMEnergyModel,
+    memory_bytes: int,
+    previous_spec=None,
+    current_spec=None,
+) -> float:
+    """Energy (pJ) to reshape the memory from one layout to the next.
+
+    Address clustering is realized with a block-granular translation table,
+    so re-pointing a block *within the same bank* is a table update, not a
+    data copy.  Only blocks whose **bank** changes between the two layouts
+    are physically moved: ``words_per_block`` reads plus writes, priced at
+    the full-memory access energy (the copy crosses banks, so the worst-case
+    array is the honest price).  Blocks entering or leaving the footprint
+    are charged the same way.
+
+    When either spec is omitted the model degrades to position-granular
+    movement (every repositioned block copied) — the conservative bound.
+    """
+    words_per_block = max(1, previous.block_size // 4)
+    read_energy = sram_model.read_energy(max(memory_bytes, previous.block_size))
+    write_energy = sram_model.write_energy(max(memory_bytes, previous.block_size))
+
+    def bank_of(layout: BlockLayout, spec, block: int):
+        position = layout.position_of(block)
+        if spec is None:
+            return position  # position-granular fallback
+        return spec.bank_of_block(position)
+
+    moved = 0
+    for block in previous.order:
+        if block not in current:
+            moved += 1
+            continue
+        if bank_of(previous, previous_spec, block) != bank_of(current, current_spec, block):
+            moved += 1
+    for block in current.order:
+        if block not in previous:
+            moved += 1
+    return moved * words_per_block * (read_energy + write_energy)
+
+
+@dataclass
+class PhasedFlowResult:
+    """Outcome of the phase-adaptive flow."""
+
+    segmentation: PhaseSegmentation
+    static_result: FlowResult
+    phase_results: list[FlowResult]
+    migration_cost: float
+
+    @property
+    def static_energy(self) -> float:
+        """Energy of the best static clustered layout over the whole trace."""
+        return self.static_result.clustered.simulated.total
+
+    @property
+    def phased_energy(self) -> float:
+        """Per-phase clustered energy plus all migrations."""
+        return (
+            sum(result.clustered.simulated.total for result in self.phase_results)
+            + self.migration_cost
+        )
+
+    @property
+    def saving_vs_static(self) -> float:
+        """Fraction saved by phase adaptation (negative = static wins)."""
+        if self.static_energy == 0:
+            return 0.0
+        return 1.0 - self.phased_energy / self.static_energy
+
+
+class PhasedMemoryOptimizationFlow:
+    """Phase-detect, optimize per phase, charge migrations, compare to static."""
+
+    def __init__(
+        self,
+        config: FlowConfig | None = None,
+        detector: PhaseDetector | None = None,
+    ) -> None:
+        self.config = config if config is not None else FlowConfig()
+        self.detector = (
+            detector
+            if detector is not None
+            else PhaseDetector(block_size=self.config.block_size)
+        )
+
+    def run(self, trace: Trace) -> PhasedFlowResult:
+        """Execute the phase-adaptive comparison."""
+        data_trace = trace.data_accesses()
+        segmentation = self.detector.detect(data_trace)
+        flow = MemoryOptimizationFlow(self.config)
+        static_result = flow.run(data_trace)
+
+        phase_results: list[FlowResult] = []
+        migration = 0.0
+        previous_layout: BlockLayout | None = None
+        previous_spec = None
+        for phase in segmentation.phases:
+            phase_trace = segmentation.slice(phase)
+            if not len(phase_trace):
+                continue
+            result = flow.run(phase_trace)
+            phase_results.append(result)
+            layout = result.clustered.layout
+            spec = result.clustered.spec
+            if previous_layout is not None:
+                migration += migration_energy(
+                    previous_layout,
+                    layout,
+                    self.config.sram_model,
+                    memory_bytes=layout.total_bytes,
+                    previous_spec=previous_spec,
+                    current_spec=spec,
+                )
+            previous_layout = layout
+            previous_spec = spec
+
+        return PhasedFlowResult(
+            segmentation=segmentation,
+            static_result=static_result,
+            phase_results=phase_results,
+            migration_cost=migration,
+        )

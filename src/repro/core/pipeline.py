@@ -1,0 +1,210 @@
+"""End-to-end optimization flow: trace → profile → cluster → partition → energy.
+
+This module reproduces the 1B-1 experimental methodology:
+
+1. profile the application's data-address trace at block granularity;
+2. build the **identity** layout and partition it (the paper's baseline:
+   "partitioned memory architecture synthesized without address clustering");
+3. build a **clustered** layout and partition that;
+4. simulate all three memories (monolithic, partitioned-identity,
+   partitioned-clustered) on the appropriately remapped traces and compare.
+
+The headline number of the paper — *energy reduction w.r.t. a partitioned
+memory synthesized without address clustering* — is
+:attr:`FlowResult.saving_vs_partitioned`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
+from ..partition.cost import PartitionCostModel
+from ..partition.evaluate import SimulatedPartitionEnergy, simulate_partition
+from ..partition.greedy import EvenPartitioner, GreedyPartitioner
+from ..partition.optimal import OptimalPartitioner, PartitionResult
+from ..partition.spec import PartitionSpec
+from ..trace.profile import AccessProfile
+from ..trace.trace import Trace
+from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
+from .layout import BlockLayout
+
+__all__ = ["FlowConfig", "FlowResult", "MemoryOptimizationFlow"]
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of the optimization flow.
+
+    Parameters
+    ----------
+    block_size:
+        Clustering/partitioning granularity in bytes.
+    max_banks:
+        Bank budget handed to the partitioner.
+    strategy:
+        Clustering strategy name (see :func:`repro.core.clustering.get_strategy`)
+        or an instantiated :class:`ClusteringStrategy`.
+    partitioner:
+        ``"optimal"`` (DP), ``"greedy"``, or ``"even"``.
+    round_pow2:
+        Round bank capacities up to powers of two.
+    include_leakage:
+        Charge bank leakage over the trace duration in simulated energies.
+    strategy_options:
+        Extra keyword arguments for the strategy constructor (when ``strategy``
+        is a name).
+    """
+
+    block_size: int = 32
+    max_banks: int = 8
+    strategy: str | ClusteringStrategy = "affinity"
+    partitioner: str = "optimal"
+    round_pow2: bool = False
+    include_leakage: bool = False
+    sram_model: SRAMEnergyModel = field(default_factory=SRAMEnergyModel)
+    decoder_model: DecoderEnergyModel = field(default_factory=DecoderEnergyModel)
+    strategy_options: dict = field(default_factory=dict)
+
+    def make_strategy(self) -> ClusteringStrategy:
+        """Resolve the configured clustering strategy."""
+        if isinstance(self.strategy, ClusteringStrategy):
+            return self.strategy
+        return get_strategy(self.strategy, **self.strategy_options)
+
+    def make_partitioner(self):
+        """Resolve the configured partitioner."""
+        if self.partitioner == "optimal":
+            return OptimalPartitioner(max_banks=self.max_banks)
+        if self.partitioner == "greedy":
+            return GreedyPartitioner(max_banks=self.max_banks)
+        if self.partitioner == "even":
+            return EvenPartitioner(num_banks=self.max_banks)
+        raise KeyError(f"unknown partitioner {self.partitioner!r}")
+
+
+@dataclass
+class FlowVariant:
+    """One evaluated memory organization."""
+
+    label: str
+    layout: BlockLayout
+    spec: PartitionSpec
+    predicted_energy: float
+    simulated: SimulatedPartitionEnergy
+
+
+@dataclass
+class FlowResult:
+    """Outcome of the full flow on one trace."""
+
+    trace_name: str
+    config: FlowConfig
+    profile_summary: dict
+    monolithic: FlowVariant
+    partitioned: FlowVariant  # identity layout (partitioning alone)
+    clustered: FlowVariant  # clustered layout (the paper's technique)
+
+    @property
+    def saving_vs_partitioned(self) -> float:
+        """The paper's headline metric: energy saved by clustering, relative
+        to a partitioned memory synthesized without clustering."""
+        baseline = self.partitioned.simulated.total
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.clustered.simulated.total / baseline
+
+    @property
+    def saving_vs_monolithic(self) -> float:
+        """Energy saved by clustering+partitioning vs a single bank."""
+        baseline = self.monolithic.simulated.total
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.clustered.simulated.total / baseline
+
+    @property
+    def partitioning_saving_vs_monolithic(self) -> float:
+        """Energy saved by partitioning alone vs a single bank."""
+        baseline = self.monolithic.simulated.total
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.partitioned.simulated.total / baseline
+
+
+class MemoryOptimizationFlow:
+    """Runs the clustering + partitioning flow on a data trace."""
+
+    def __init__(self, config: FlowConfig | None = None) -> None:
+        self.config = config if config is not None else FlowConfig()
+
+    def run(self, trace: Trace) -> FlowResult:
+        """Execute the flow; return the three-way energy comparison."""
+        config = self.config
+        data_trace = trace.data_accesses()
+        if not len(data_trace):
+            raise ValueError("trace contains no data accesses")
+        profile = AccessProfile(data_trace, block_size=config.block_size)
+
+        identity_layout = IdentityClustering().build_layout(profile)
+        clustered_layout = config.make_strategy().build_layout(profile)
+
+        monolithic = self._evaluate(
+            "monolithic", identity_layout, profile, data_trace, num_banks=1
+        )
+        partitioned = self._evaluate("partitioned", identity_layout, profile, data_trace)
+        clustered = self._evaluate("clustered", clustered_layout, profile, data_trace)
+
+        return FlowResult(
+            trace_name=trace.name,
+            config=config,
+            profile_summary=profile.summary(),
+            monolithic=monolithic,
+            partitioned=partitioned,
+            clustered=clustered,
+        )
+
+    def _evaluate(
+        self,
+        label: str,
+        layout: BlockLayout,
+        profile: AccessProfile,
+        data_trace: Trace,
+        num_banks: int | None = None,
+    ) -> FlowVariant:
+        config = self.config
+        reads, writes = layout.counts_in_order(profile)
+        cost_model = PartitionCostModel(
+            reads=reads,
+            writes=writes,
+            block_size=config.block_size,
+            sram_model=config.sram_model,
+            decoder_model=config.decoder_model,
+            round_pow2=config.round_pow2,
+        )
+        if num_banks == 1:
+            spec = PartitionSpec(
+                block_size=config.block_size,
+                bank_blocks=(layout.num_blocks,),
+                round_pow2=config.round_pow2,
+            )
+            result = PartitionResult(
+                spec=spec, predicted_energy=cost_model.partition_cost(spec), num_banks=1
+            )
+        else:
+            partitioner = config.make_partitioner()
+            result = partitioner.partition(cost_model)
+        layout_trace = layout.remap_trace(data_trace)
+        simulated = simulate_partition(
+            result.spec,
+            layout_trace,
+            sram_model=config.sram_model,
+            decoder_model=config.decoder_model,
+            include_leakage=config.include_leakage,
+        )
+        return FlowVariant(
+            label=label,
+            layout=layout,
+            spec=result.spec,
+            predicted_energy=result.predicted_energy,
+            simulated=simulated,
+        )

@@ -1,0 +1,23 @@
+"""Bus encoding: classic encoders, learned functional transform, metrics, selection."""
+
+from .base import BusEncoder
+from .classic import BusInvertEncoder, GrayEncoder, RawEncoder, T0Encoder, XorDiffEncoder
+from .functional import FunctionalEncoder
+from .metrics import EncodedStreamReport, measure_encoder, stream_transitions
+from .selector import SelectionResult, TransformSelector, default_candidates
+
+__all__ = [
+    "BusEncoder",
+    "RawEncoder",
+    "GrayEncoder",
+    "T0Encoder",
+    "XorDiffEncoder",
+    "BusInvertEncoder",
+    "FunctionalEncoder",
+    "EncodedStreamReport",
+    "measure_encoder",
+    "stream_transitions",
+    "SelectionResult",
+    "TransformSelector",
+    "default_candidates",
+]

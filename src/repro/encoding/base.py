@@ -1,0 +1,51 @@
+"""Bus encoder interface.
+
+An encoder transforms each logical word into the physical word driven on the
+bus wires; a matching decoder recovers the logical word on the far side.
+Encoders are *stateful* (most exploit the previous word) and must be exactly
+invertible given the same state evolution — the property test suite drives
+random streams through encode→decode and requires identity.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BusEncoder"]
+
+
+class BusEncoder:
+    """Base class for bus encoders/decoders.
+
+    Parameters
+    ----------
+    width:
+        Bus width in bits; words outside ``[0, 2**width)`` are rejected.
+    """
+
+    name = "encoder"
+
+    def __init__(self, width: int = 32) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.mask = (1 << width) - 1
+
+    def _check(self, word: int) -> int:
+        if not 0 <= word <= self.mask:
+            raise ValueError(f"word {word:#x} outside {self.width}-bit range")
+        return word
+
+    def encode(self, word: int) -> int:
+        """Logical → physical."""
+        raise NotImplementedError
+
+    def decode(self, word: int) -> int:
+        """Physical → logical (exact inverse under identical state)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return to initial state (bus wires at 0)."""
+
+    @property
+    def extra_wires(self) -> int:
+        """Redundant wires this encoder adds (bus-invert needs 1, etc.)."""
+        return 0

@@ -1,0 +1,189 @@
+"""Classic low-power bus encoders: raw, Gray, T0, XOR-difference, bus-invert.
+
+These are the general-purpose (application-blind) encoders the 1B-3 paper
+compares its application-specific functional transform against:
+
+* :class:`RawEncoder` — identity (the unencoded baseline);
+* :class:`GrayEncoder` — Gray code; one transition per step on sequential
+  address streams;
+* :class:`T0Encoder` — freeze the bus when the word follows the expected
+  stride; an extra wire tells the receiver to regenerate the address locally;
+* :class:`XorDiffEncoder` — physical word = logical XOR previous logical; a
+  temporal decorrelator that turns repetition into zero wires;
+* :class:`BusInvertEncoder` — invert the word when more than half the wires
+  would flip; one extra polarity wire.
+"""
+
+from __future__ import annotations
+
+from .base import BusEncoder
+
+__all__ = [
+    "RawEncoder",
+    "GrayEncoder",
+    "T0Encoder",
+    "XorDiffEncoder",
+    "BusInvertEncoder",
+]
+
+
+class RawEncoder(BusEncoder):
+    """Identity encoder: the unencoded baseline."""
+
+    name = "raw"
+
+    def encode(self, word: int) -> int:
+        return self._check(word)
+
+    def decode(self, word: int) -> int:
+        return self._check(word)
+
+
+class GrayEncoder(BusEncoder):
+    """Binary-reflected Gray code."""
+
+    name = "gray"
+
+    def encode(self, word: int) -> int:
+        word = self._check(word)
+        return word ^ (word >> 1)
+
+    def decode(self, word: int) -> int:
+        word = self._check(word)
+        logical = 0
+        while word:
+            logical ^= word
+            word >>= 1
+        return logical
+
+
+class T0Encoder(BusEncoder):
+    """T0 encoding for (near-)sequential streams.
+
+    When the logical word equals ``previous + stride`` the bus is frozen (the
+    previous physical word is re-driven — zero transitions) and the INC wire
+    is raised; the receiver increments locally.  Otherwise the word goes out
+    raw with INC low.  The INC wire's own transitions are charged to the
+    encoder via :attr:`extra_transitions`.
+    """
+
+    name = "t0"
+
+    def __init__(self, width: int = 32, stride: int = 4) -> None:
+        super().__init__(width)
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = stride
+        self._previous_logical: int | None = None
+        self._physical = 0
+        self._inc_wire = 0
+        self.extra_transitions = 0
+
+    @property
+    def extra_wires(self) -> int:
+        return 1
+
+    def encode(self, word: int) -> int:
+        word = self._check(word)
+        if self._previous_logical is not None and word == (
+            (self._previous_logical + self.stride) & self.mask
+        ):
+            inc = 1
+        else:
+            inc = 0
+            self._physical = word
+        if inc != self._inc_wire:
+            self.extra_transitions += 1
+            self._inc_wire = inc
+        self._previous_logical = word
+        return self._physical
+
+    def decode(self, word: int) -> int:
+        # Receiver-side reconstruction mirrors encode(): it tracks the same
+        # previous logical word and the INC wire state set by the encoder.
+        if self._inc_wire and self._previous_logical is not None:
+            return self._previous_logical
+        return self._check(word)
+
+    def reset(self) -> None:
+        self._previous_logical = None
+        self._physical = 0
+        self._inc_wire = 0
+        self.extra_transitions = 0
+
+
+class XorDiffEncoder(BusEncoder):
+    """Temporal decorrelator: physical = logical ⊕ previous logical.
+
+    Encoder and decoder keep *independent* previous-word state, so the same
+    object can model both ends of the bus (encode/decode interleaved per
+    word) or two objects can sit at opposite ends.
+    """
+
+    name = "xor_diff"
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width)
+        self._enc_previous = 0
+        self._dec_previous = 0
+
+    def encode(self, word: int) -> int:
+        word = self._check(word)
+        physical = word ^ self._enc_previous
+        self._enc_previous = word
+        return physical
+
+    def decode(self, word: int) -> int:
+        word = self._check(word)
+        logical = word ^ self._dec_previous
+        self._dec_previous = logical
+        return logical
+
+    def reset(self) -> None:
+        self._enc_previous = 0
+        self._dec_previous = 0
+
+
+class BusInvertEncoder(BusEncoder):
+    """Bus-invert coding (Stan & Burleson).
+
+    If driving the word would flip more than ``width/2`` wires, drive its
+    complement and raise the polarity wire.  The polarity wire's transitions
+    are charged via :attr:`extra_transitions`.
+    """
+
+    name = "bus_invert"
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width)
+        self._physical = 0
+        self._polarity = 0
+        self.extra_transitions = 0
+
+    @property
+    def extra_wires(self) -> int:
+        return 1
+
+    def encode(self, word: int) -> int:
+        word = self._check(word)
+        flips = bin(self._physical ^ word).count("1")
+        if flips > self.width // 2:
+            physical = word ^ self.mask
+            polarity = 1
+        else:
+            physical = word
+            polarity = 0
+        if polarity != self._polarity:
+            self.extra_transitions += 1
+            self._polarity = polarity
+        self._physical = physical
+        return physical
+
+    def decode(self, word: int) -> int:
+        word = self._check(word)
+        return word ^ self.mask if self._polarity else word
+
+    def reset(self) -> None:
+        self._physical = 0
+        self._polarity = 0
+        self.extra_transitions = 0

@@ -1,0 +1,77 @@
+"""Transition metrics for encoded word streams."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .base import BusEncoder
+
+__all__ = ["EncodedStreamReport", "measure_encoder", "stream_transitions"]
+
+
+def stream_transitions(words: Iterable[int], initial: int = 0) -> int:
+    """Total bit transitions of a word sequence on a bus initially at ``initial``."""
+    total = 0
+    previous = initial
+    for word in words:
+        total += bin(previous ^ word).count("1")
+        previous = word
+    return total
+
+
+@dataclass(frozen=True)
+class EncodedStreamReport:
+    """Transition accounting of one encoder over one stream."""
+
+    encoder_name: str
+    words: int
+    raw_transitions: int
+    encoded_transitions: int
+    extra_wire_transitions: int
+    decodable: bool
+
+    @property
+    def total_transitions(self) -> int:
+        """Data-wire plus redundant-wire transitions."""
+        return self.encoded_transitions + self.extra_wire_transitions
+
+    @property
+    def reduction(self) -> float:
+        """Fractional transition reduction vs the raw stream (can be negative)."""
+        if self.raw_transitions == 0:
+            return 0.0
+        return 1.0 - self.total_transitions / self.raw_transitions
+
+
+def measure_encoder(
+    encoder: BusEncoder,
+    words: list[int],
+    verify: bool = True,
+) -> EncodedStreamReport:
+    """Drive ``words`` through ``encoder``; count transitions; check decodability.
+
+    The encoder object models both bus ends: each word is encoded and (when
+    ``verify``) immediately decoded, which matches how the physical wires and
+    any redundant lines evolve in hardware.
+    """
+    encoder.reset()
+    raw = stream_transitions(words)
+    encoded_total = 0
+    previous_physical = 0
+    decodable = True
+    for word in words:
+        physical = encoder.encode(word)
+        encoded_total += bin(previous_physical ^ physical).count("1")
+        previous_physical = physical
+        if verify and encoder.decode(physical) != word:
+            decodable = False
+    extra = getattr(encoder, "extra_transitions", 0)
+    return EncodedStreamReport(
+        encoder_name=encoder.name,
+        words=len(words),
+        raw_transitions=raw,
+        encoded_transitions=encoded_total,
+        extra_wire_transitions=extra,
+        decodable=decodable,
+    )

@@ -1,0 +1,38 @@
+"""Instruction-set simulator: ISA, assembler, CPU, kernel library."""
+
+from .assembler import Assembler, AssemblyError, Program, assemble
+from .cpu import CPU, ExecutionError, ExecutionResult
+from .disasm import disassemble_program, disassemble_word
+from .instructions import (
+    Format,
+    Instruction,
+    Opcode,
+    RFunct,
+    decode,
+    encode,
+    register_number,
+    sign_extend,
+)
+from .programs import kernel_names, load_kernel
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "Program",
+    "assemble",
+    "CPU",
+    "ExecutionError",
+    "ExecutionResult",
+    "Format",
+    "Instruction",
+    "Opcode",
+    "RFunct",
+    "decode",
+    "encode",
+    "register_number",
+    "sign_extend",
+    "kernel_names",
+    "disassemble_program",
+    "disassemble_word",
+    "load_kernel",
+]

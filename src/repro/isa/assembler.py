@@ -1,0 +1,496 @@
+"""Two-pass assembler for the package RISC ISA.
+
+Accepts a conventional assembly dialect::
+
+    ; comments with ';' or '#'
+            .data
+    coeff:  .word 3, -5, 7, 1
+    buf:    .space 64
+            .text
+    main:   la   r1, coeff
+            li   r2, 16
+    loop:   lw   r3, 0(r1)
+            addi r1, r1, 4
+            addi r2, r2, -1
+            bne  r2, zero, loop
+            halt
+
+Directives: ``.text``, ``.data``, ``.word``, ``.half``, ``.byte``,
+``.space N``, ``.align N``.
+
+Pseudo-instructions expanded by the assembler:
+
+* ``li rd, imm32``  → ``addi`` (small) or ``lui``+``ori``;
+* ``la rd, label``  → ``lui``+``ori`` (always two words, so pass 1 can size it);
+* ``mv rd, rs``     → ``addi rd, rs, 0``;
+* ``nop``           → ``addi r0, r0, 0``;
+* ``j label``       → ``jal r0, label``;
+* ``jal label``     → ``jal ra, label``;
+* ``call label``    → ``jal ra, label``;
+* ``ret``           → ``jalr r0, ra, 0``;
+* ``ble/bgt ra, rb, label`` → ``bge/blt`` with operands swapped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .instructions import (
+    Instruction,
+    Opcode,
+    RFunct,
+    encode,
+    register_number,
+)
+
+__all__ = ["AssemblyError", "Program", "Assembler", "assemble"]
+
+DEFAULT_TEXT_BASE = 0x0000
+DEFAULT_DATA_BASE = 0x4000
+
+_R_TYPE_MNEMONICS = {
+    "add": RFunct.ADD,
+    "sub": RFunct.SUB,
+    "and": RFunct.AND,
+    "or": RFunct.OR,
+    "xor": RFunct.XOR,
+    "sll": RFunct.SLL,
+    "srl": RFunct.SRL,
+    "sra": RFunct.SRA,
+    "slt": RFunct.SLT,
+    "sltu": RFunct.SLTU,
+    "mul": RFunct.MUL,
+    "div": RFunct.DIV,
+    "rem": RFunct.REM,
+}
+
+_I_ALU_MNEMONICS = {
+    "addi": Opcode.ADDI,
+    "andi": Opcode.ANDI,
+    "ori": Opcode.ORI,
+    "xori": Opcode.XORI,
+    "slti": Opcode.SLTI,
+    "slli": Opcode.SLLI,
+    "srli": Opcode.SRLI,
+    "srai": Opcode.SRAI,
+}
+
+_LOGICAL_IMM = {Opcode.ANDI, Opcode.ORI, Opcode.XORI}
+
+_LOAD_MNEMONICS = {
+    "lw": Opcode.LW,
+    "lh": Opcode.LH,
+    "lb": Opcode.LB,
+    "lhu": Opcode.LHU,
+    "lbu": Opcode.LBU,
+}
+
+_STORE_MNEMONICS = {"sw": Opcode.SW, "sh": Opcode.SH, "sb": Opcode.SB}
+
+_BRANCH_MNEMONICS = {
+    "beq": Opcode.BEQ,
+    "bne": Opcode.BNE,
+    "blt": Opcode.BLT,
+    "bge": Opcode.BGE,
+    "bltu": Opcode.BLTU,
+    "bgeu": Opcode.BGEU,
+}
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input, annotated with the source line."""
+
+    def __init__(self, message: str, line_number: int | None = None, line: str = "") -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message} [{line.strip()}]"
+        super().__init__(message)
+
+
+@dataclass
+class Program:
+    """An assembled program ready to load into the CPU."""
+
+    name: str
+    text_words: list[int]
+    data_bytes: bytes
+    symbols: dict[str, int]
+    text_base: int = DEFAULT_TEXT_BASE
+    data_base: int = DEFAULT_DATA_BASE
+
+    @property
+    def entry(self) -> int:
+        """Entry point: the ``main`` label if present, else the text base."""
+        return self.symbols.get("main", self.text_base)
+
+    @property
+    def text_size(self) -> int:
+        """Text segment size in bytes."""
+        return 4 * len(self.text_words)
+
+    @property
+    def data_size(self) -> int:
+        """Data segment size in bytes."""
+        return len(self.data_bytes)
+
+
+@dataclass
+class _Statement:
+    """One pending instruction awaiting pass-2 resolution."""
+
+    mnemonic: str
+    operands: list[str]
+    address: int  # byte address in the text segment
+    line_number: int
+    line: str
+
+
+class Assembler:
+    """Two-pass assembler.
+
+    Parameters
+    ----------
+    text_base, data_base:
+        Segment base addresses.  The data base must leave room for the text
+        segment and must be reachable by ``lui``+``ori`` (any 32-bit value is).
+    """
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE, data_base: int = DEFAULT_DATA_BASE) -> None:
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` into a :class:`Program`."""
+        statements, symbols, data = self._pass_one(source)
+        words = self._pass_two(statements, symbols)
+        return Program(
+            name=name,
+            text_words=words,
+            data_bytes=bytes(data),
+            symbols=symbols,
+            text_base=self.text_base,
+            data_base=self.data_base,
+        )
+
+    # -- pass 1: layout ---------------------------------------------------------
+
+    def _pass_one(self, source: str) -> tuple[list[_Statement], dict[str, int], bytearray]:
+        statements: list[_Statement] = []
+        symbols: dict[str, int] = {}
+        data = bytearray()
+        segment = "text"
+        text_cursor = self.text_base
+
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line.strip():
+                continue
+            body = line.strip()
+            # Peel off any labels ("label:" possibly followed by code).
+            while True:
+                match = re.match(r"^([A-Za-z_]\w*)\s*:\s*(.*)$", body)
+                if not match:
+                    break
+                label, body = match.group(1), match.group(2)
+                if label in symbols:
+                    raise AssemblyError(f"duplicate label {label!r}", line_number, raw)
+                symbols[label] = text_cursor if segment == "text" else self.data_base + len(data)
+            if not body:
+                continue
+            if body.startswith("."):
+                segment, text_cursor = self._directive(
+                    body, segment, text_cursor, data, symbols, line_number, raw
+                )
+                continue
+            if segment != "text":
+                raise AssemblyError("instructions only allowed in .text", line_number, raw)
+            mnemonic, operands = _split_instruction(body)
+            size = self._instruction_size(mnemonic, operands, line_number, raw)
+            statements.append(_Statement(mnemonic, operands, text_cursor, line_number, raw))
+            text_cursor += size
+
+        return statements, symbols, data
+
+    def _directive(
+        self,
+        body: str,
+        segment: str,
+        text_cursor: int,
+        data: bytearray,
+        symbols: dict[str, int],
+        line_number: int,
+        raw: str,
+    ) -> tuple[str, int]:
+        parts = body.split(None, 1)
+        name = parts[0]
+        argument = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            return "text", text_cursor
+        if name == ".data":
+            return "data", text_cursor
+        if segment != "data":
+            raise AssemblyError(f"{name} only allowed in .data", line_number, raw)
+        if name in (".word", ".half", ".byte"):
+            width = {".word": 4, ".half": 2, ".byte": 1}[name]
+            for token in _split_operands(argument):
+                data.extend(self._data_value(token, width, symbols, line_number, raw))
+            return segment, text_cursor
+        if name == ".space":
+            count = _parse_int(argument, line_number, raw)
+            if count < 0:
+                raise AssemblyError(".space size must be non-negative", line_number, raw)
+            data.extend(b"\x00" * count)
+            return segment, text_cursor
+        if name == ".align":
+            boundary = _parse_int(argument, line_number, raw)
+            if boundary <= 0:
+                raise AssemblyError(".align boundary must be positive", line_number, raw)
+            while (self.data_base + len(data)) % boundary:
+                data.append(0)
+            return segment, text_cursor
+        raise AssemblyError(f"unknown directive {name}", line_number, raw)
+
+    def _data_value(
+        self, token: str, width: int, symbols: dict[str, int], line_number: int, raw: str
+    ) -> bytes:
+        token = token.strip()
+        if re.match(r"^[A-Za-z_]\w*$", token):
+            # Forward label references in data are resolved here only if the
+            # label is already known; .data labels referring to later .text
+            # labels are rare in this kernel suite and unsupported by design.
+            if token not in symbols:
+                raise AssemblyError(f"unknown symbol in data: {token}", line_number, raw)
+            value = symbols[token]
+        else:
+            value = _parse_int(token, line_number, raw)
+        return (value & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+
+    def _instruction_size(
+        self, mnemonic: str, operands: list[str], line_number: int, raw: str
+    ) -> int:
+        if mnemonic == "la":
+            return 8
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblyError("li needs 2 operands", line_number, raw)
+            value = _parse_int(operands[1], line_number, raw)
+            return 4 if -(1 << 15) <= value < (1 << 15) else 8
+        return 4
+
+    # -- pass 2: encoding ---------------------------------------------------------
+
+    def _pass_two(self, statements: list[_Statement], symbols: dict[str, int]) -> list[int]:
+        words: list[int] = []
+        for statement in statements:
+            for instruction in self._expand(statement, symbols):
+                words.append(encode(instruction))
+        return words
+
+    def _expand(self, st: _Statement, symbols: dict[str, int]) -> list[Instruction]:
+        m, ops = st.mnemonic, st.operands
+        err = lambda msg: AssemblyError(msg, st.line_number, st.line)  # noqa: E731
+
+        def reg(token: str) -> int:
+            try:
+                return register_number(token)
+            except ValueError as error:
+                raise err(str(error)) from error
+
+        def imm(token: str) -> int:
+            return self._resolve_value(token, symbols, st)
+
+        if m in _R_TYPE_MNEMONICS:
+            if len(ops) != 3:
+                raise err(f"{m} needs 3 operands")
+            return [
+                Instruction(
+                    Opcode.RTYPE,
+                    rd=reg(ops[0]),
+                    rs1=reg(ops[1]),
+                    rs2=reg(ops[2]),
+                    funct=_R_TYPE_MNEMONICS[m],
+                )
+            ]
+        if m in _I_ALU_MNEMONICS:
+            if len(ops) != 3:
+                raise err(f"{m} needs 3 operands")
+            opcode = _I_ALU_MNEMONICS[m]
+            value = imm(ops[2])
+            value = _fit_imm16(value, opcode in _LOGICAL_IMM, err)
+            return [Instruction(opcode, rd=reg(ops[0]), rs1=reg(ops[1]), imm=value)]
+        if m == "lui":
+            if len(ops) != 2:
+                raise err("lui needs 2 operands")
+            value = imm(ops[1])
+            if not 0 <= value < (1 << 16):
+                raise err(f"lui immediate out of range: {value}")
+            return [Instruction(Opcode.LUI, rd=reg(ops[0]), imm=_as_signed16(value))]
+        if m in _LOAD_MNEMONICS:
+            if len(ops) != 2:
+                raise err(f"{m} needs 2 operands")
+            offset, base = self._memory_operand(ops[1], symbols, st)
+            return [
+                Instruction(_LOAD_MNEMONICS[m], rd=reg(ops[0]), rs1=base, imm=offset)
+            ]
+        if m in _STORE_MNEMONICS:
+            if len(ops) != 2:
+                raise err(f"{m} needs 2 operands")
+            offset, base = self._memory_operand(ops[1], symbols, st)
+            return [
+                Instruction(_STORE_MNEMONICS[m], rd=reg(ops[0]), rs1=base, imm=offset)
+            ]
+        if m in _BRANCH_MNEMONICS or m in ("ble", "bgt"):
+            if len(ops) != 3:
+                raise err(f"{m} needs 3 operands")
+            a, b = reg(ops[0]), reg(ops[1])
+            if m == "ble":
+                m, a, b = "bge", b, a
+            elif m == "bgt":
+                m, a, b = "blt", b, a
+            target = self._resolve_value(ops[2], symbols, st)
+            offset = (target - (st.address + 4)) // 4
+            if not -(1 << 15) <= offset < (1 << 15):
+                raise err(f"branch target out of range: offset {offset}")
+            return [Instruction(_BRANCH_MNEMONICS[m], rd=a, rs1=b, imm=offset)]
+        if m == "jal":
+            if len(ops) == 1:
+                rd, target_token = register_number("ra"), ops[0]
+            elif len(ops) == 2:
+                rd, target_token = reg(ops[0]), ops[1]
+            else:
+                raise err("jal needs 1 or 2 operands")
+            target = self._resolve_value(target_token, symbols, st)
+            offset = (target - (st.address + 4)) // 4
+            if not -(1 << 20) <= offset < (1 << 20):
+                raise err(f"jump target out of range: offset {offset}")
+            return [Instruction(Opcode.JAL, rd=rd, imm=offset)]
+        if m == "j":
+            if len(ops) != 1:
+                raise err("j needs 1 operand")
+            target = self._resolve_value(ops[0], symbols, st)
+            offset = (target - (st.address + 4)) // 4
+            return [Instruction(Opcode.JAL, rd=0, imm=offset)]
+        if m == "call":
+            return self._expand(_Statement("jal", ops, st.address, st.line_number, st.line), symbols)
+        if m == "jalr":
+            if len(ops) == 2:
+                ops = [ops[0], ops[1], "0"]
+            if len(ops) != 3:
+                raise err("jalr needs 2 or 3 operands")
+            return [
+                Instruction(
+                    Opcode.JALR,
+                    rd=reg(ops[0]),
+                    rs1=reg(ops[1]),
+                    imm=_fit_imm16(imm(ops[2]), False, err),
+                )
+            ]
+        if m == "ret":
+            return [Instruction(Opcode.JALR, rd=0, rs1=register_number("ra"), imm=0)]
+        if m == "mv":
+            if len(ops) != 2:
+                raise err("mv needs 2 operands")
+            return [Instruction(Opcode.ADDI, rd=reg(ops[0]), rs1=reg(ops[1]), imm=0)]
+        if m == "nop":
+            return [Instruction(Opcode.ADDI, rd=0, rs1=0, imm=0)]
+        if m == "li":
+            if len(ops) != 2:
+                raise err("li needs 2 operands")
+            rd = reg(ops[0])
+            value = imm(ops[1]) & 0xFFFFFFFF
+            signed = value - (1 << 32) if value & (1 << 31) else value
+            if -(1 << 15) <= signed < (1 << 15):
+                return [Instruction(Opcode.ADDI, rd=rd, rs1=0, imm=signed)]
+            return _load_constant(rd, value)
+        if m == "la":
+            if len(ops) != 2:
+                raise err("la needs 2 operands")
+            rd = reg(ops[0])
+            target = self._resolve_value(ops[1], symbols, st) & 0xFFFFFFFF
+            return _load_constant(rd, target)
+        if m == "halt":
+            return [Instruction(Opcode.HALT)]
+        raise err(f"unknown mnemonic {m!r}")
+
+    def _memory_operand(
+        self, token: str, symbols: dict[str, int], st: _Statement
+    ) -> tuple[int, int]:
+        match = _MEM_OPERAND.match(token.replace(" ", ""))
+        if not match:
+            raise AssemblyError(
+                f"expected offset(base) operand, got {token!r}", st.line_number, st.line
+            )
+        offset = self._resolve_value(match.group(1), symbols, st)
+        if not -(1 << 15) <= offset < (1 << 15):
+            raise AssemblyError(f"offset out of range: {offset}", st.line_number, st.line)
+        base = register_number(match.group(2))
+        return offset, base
+
+    def _resolve_value(self, token: str, symbols: dict[str, int], st: _Statement) -> int:
+        token = token.strip()
+        if re.match(r"^-?(0x[0-9a-fA-F]+|\d+)$", token):
+            return int(token, 0)
+        if token in symbols:
+            return symbols[token]
+        raise AssemblyError(f"unknown symbol {token!r}", st.line_number, st.line)
+
+
+def _load_constant(rd: int, value: int) -> list[Instruction]:
+    """``lui`` + ``ori`` sequence materializing an arbitrary 32-bit constant."""
+    high = (value >> 16) & 0xFFFF
+    low = value & 0xFFFF
+    return [
+        Instruction(Opcode.LUI, rd=rd, imm=_as_signed16(high)),
+        Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=_as_signed16(low)),
+    ]
+
+
+def _as_signed16(value: int) -> int:
+    """Reinterpret an unsigned 16-bit value as the signed imm16 encode() expects."""
+    return value - (1 << 16) if value >= (1 << 15) else value
+
+
+def _fit_imm16(value: int, logical: bool, err) -> int:
+    """Range-check an immediate; logical ops accept the unsigned 16-bit range."""
+    if logical:
+        if not -(1 << 15) <= value < (1 << 16):
+            raise err(f"immediate out of 16-bit range: {value}")
+        return _as_signed16(value & 0xFFFF)
+    if not -(1 << 15) <= value < (1 << 15):
+        raise err(f"immediate out of signed 16-bit range: {value}")
+    return value
+
+
+def _parse_int(token: str, line_number: int, raw: str) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError as error:
+        raise AssemblyError(f"expected integer, got {token!r}", line_number, raw) from error
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line
+
+
+def _split_instruction(body: str) -> tuple[str, list[str]]:
+    parts = body.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+    return mnemonic, operands
+
+
+def _split_operands(text: str) -> list[str]:
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def assemble(source: str, name: str = "program", **kwargs) -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler(**kwargs).assemble(source, name=name)

@@ -1,0 +1,321 @@
+"""CPU: executes assembled programs and captures memory traces.
+
+The CPU is a functional (not cycle-accurate) interpreter: one instruction per
+logical time step.  That is exactly the fidelity the reproduced experiments
+need — they consume the *address and value streams*, not pipeline timing.
+
+Captured streams:
+
+* **instruction trace** — one event per fetch, carrying the PC and the raw
+  32-bit instruction word (the payload of the bus-encoding experiment E3);
+* **data trace** — one event per load/store, carrying address, width, and the
+  stored/loaded value (the payload of partitioning/clustering/compression
+  experiments E1/E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trace.events import AccessKind, AddressSpace, MemoryAccess
+from ..trace.trace import Trace
+from .assembler import Program
+from .instructions import Instruction, Opcode, RFunct, decode, register_number
+
+__all__ = ["CPU", "ExecutionResult", "ExecutionError"]
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+class ExecutionError(RuntimeError):
+    """Raised on illegal execution (bad PC, unaligned access, step overrun)."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one program run."""
+
+    program: Program
+    instructions_executed: int
+    data_trace: Trace
+    instruction_trace: Trace
+    registers: list[int]
+    halted: bool
+
+    def combined_trace(self) -> Trace:
+        """Instruction and data events merged in execution order."""
+        merged = sorted(
+            list(self.instruction_trace) + list(self.data_trace),
+            key=lambda event: (event.time, event.space.value),
+        )
+        return Trace(merged, name=f"{self.program.name}.all")
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+class CPU:
+    """Functional interpreter for assembled programs.
+
+    Parameters
+    ----------
+    memory_size:
+        Size of the flat byte-addressable memory.  Text and data segments are
+        loaded at their program bases; the stack pointer starts at the top.
+    trace_values:
+        When set (default), data events carry store/load payloads so the
+        compression experiments can reconstruct line contents.
+    """
+
+    def __init__(self, memory_size: int = 1 << 20, trace_values: bool = True) -> None:
+        if memory_size <= 0:
+            raise ValueError("memory_size must be positive")
+        self.memory_size = memory_size
+        self.trace_values = trace_values
+        self.memory = bytearray(memory_size)
+        self.registers = [0] * 32
+        self.pc = 0
+
+    # -- loading ------------------------------------------------------------------
+
+    def load(self, program: Program) -> None:
+        """Load a program's segments and reset architectural state."""
+        text_end = program.text_base + program.text_size
+        data_end = program.data_base + program.data_size
+        if text_end > self.memory_size or data_end > self.memory_size:
+            raise ExecutionError("program does not fit in memory")
+        if program.text_base < data_end and program.data_base < text_end:
+            if program.text_size and program.data_size:
+                raise ExecutionError("text and data segments overlap")
+        self.memory = bytearray(self.memory_size)
+        for index, word in enumerate(program.text_words):
+            self.memory[program.text_base + 4 * index : program.text_base + 4 * index + 4] = (
+                word.to_bytes(4, "little")
+            )
+        self.memory[program.data_base : program.data_base + program.data_size] = program.data_bytes
+        self.registers = [0] * 32
+        self.registers[register_number("sp")] = self.memory_size - 16
+        self.pc = program.entry
+
+    # -- memory helpers -------------------------------------------------------------
+
+    def _check_range(self, address: int, size: int) -> None:
+        if address < 0 or address + size > self.memory_size:
+            raise ExecutionError(f"memory access out of range: {address:#x}+{size}")
+        if address % size:
+            raise ExecutionError(f"unaligned {size}-byte access at {address:#x}")
+
+    def read_memory(self, address: int, size: int) -> int:
+        """Read ``size`` bytes little-endian (range- and alignment-checked)."""
+        self._check_range(address, size)
+        return int.from_bytes(self.memory[address : address + size], "little")
+
+    def write_memory(self, address: int, value: int, size: int) -> None:
+        """Write ``size`` bytes little-endian (range- and alignment-checked)."""
+        self._check_range(address, size)
+        self.memory[address : address + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(self, program: Program, max_steps: int = 2_000_000) -> ExecutionResult:
+        """Load and run ``program``; return traces and final state.
+
+        Raises :class:`ExecutionError` when ``max_steps`` is exhausted before
+        ``halt`` — runaway loops are bugs in the kernel, not data.
+        """
+        self.load(program)
+        data_events: list[MemoryAccess] = []
+        instruction_events: list[MemoryAccess] = []
+        steps = 0
+        halted = False
+
+        while steps < max_steps:
+            if self.pc % 4 or not 0 <= self.pc < self.memory_size:
+                raise ExecutionError(f"bad PC {self.pc:#x}")
+            word = int.from_bytes(self.memory[self.pc : self.pc + 4], "little")
+            instruction_events.append(
+                MemoryAccess(
+                    time=steps,
+                    address=self.pc,
+                    size=4,
+                    kind=AccessKind.READ,
+                    space=AddressSpace.INSTRUCTION,
+                    value=word,
+                )
+            )
+            instruction = decode(word)
+            if instruction.opcode is Opcode.HALT:
+                steps += 1
+                halted = True
+                break
+            self._execute(instruction, steps, data_events)
+            steps += 1
+
+        if not halted:
+            raise ExecutionError(f"program did not halt within {max_steps} steps")
+
+        return ExecutionResult(
+            program=program,
+            instructions_executed=steps,
+            data_trace=Trace(data_events, name=f"{program.name}.data"),
+            instruction_trace=Trace(instruction_events, name=f"{program.name}.instr"),
+            registers=list(self.registers),
+            halted=halted,
+        )
+
+    def _set_register(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value & _WORD_MASK
+
+    def _execute(self, ins: Instruction, time: int, data_events: list[MemoryAccess]) -> None:
+        regs = self.registers
+        next_pc = self.pc + 4
+        op = ins.opcode
+
+        if op is Opcode.RTYPE:
+            a, b = regs[ins.rs1], regs[ins.rs2]
+            self._set_register(ins.rd, self._alu(ins.funct, a, b))
+        elif op in (
+            Opcode.ADDI,
+            Opcode.ANDI,
+            Opcode.ORI,
+            Opcode.XORI,
+            Opcode.SLTI,
+            Opcode.SLLI,
+            Opcode.SRLI,
+            Opcode.SRAI,
+        ):
+            self._set_register(ins.rd, self._alu_imm(op, regs[ins.rs1], ins.imm))
+        elif op is Opcode.LUI:
+            self._set_register(ins.rd, (ins.imm & 0xFFFF) << 16)
+        elif ins.is_load:
+            address = (regs[ins.rs1] + ins.imm) & _WORD_MASK
+            size = ins.access_size
+            raw = self.read_memory(address, size)
+            if op is Opcode.LH:
+                raw = _to_signed_width(raw, 16)
+            elif op is Opcode.LB:
+                raw = _to_signed_width(raw, 8)
+            self._set_register(ins.rd, raw & _WORD_MASK)
+            data_events.append(
+                MemoryAccess(
+                    time=time,
+                    address=address,
+                    size=size,
+                    kind=AccessKind.READ,
+                    value=(raw & _WORD_MASK) if self.trace_values else None,
+                )
+            )
+        elif ins.is_store:
+            address = (regs[ins.rs1] + ins.imm) & _WORD_MASK
+            size = ins.access_size
+            value = regs[ins.rd] & ((1 << (8 * size)) - 1)
+            self.write_memory(address, value, size)
+            data_events.append(
+                MemoryAccess(
+                    time=time,
+                    address=address,
+                    size=size,
+                    kind=AccessKind.WRITE,
+                    value=value if self.trace_values else None,
+                )
+            )
+        elif ins.is_branch:
+            if self._branch_taken(op, regs[ins.rd], regs[ins.rs1]):
+                next_pc = self.pc + 4 + 4 * ins.imm
+        elif op is Opcode.JAL:
+            self._set_register(ins.rd, self.pc + 4)
+            next_pc = self.pc + 4 + 4 * ins.imm
+        elif op is Opcode.JALR:
+            target = (regs[ins.rs1] + ins.imm) & _WORD_MASK
+            self._set_register(ins.rd, self.pc + 4)
+            next_pc = target
+        else:  # pragma: no cover - decode() already rejects unknown opcodes
+            raise ExecutionError(f"unimplemented opcode {op!r}")
+
+        self.pc = next_pc
+
+    @staticmethod
+    def _alu(funct: RFunct, a: int, b: int) -> int:
+        sa, sb = _to_signed(a), _to_signed(b)
+        if funct is RFunct.ADD:
+            return a + b
+        if funct is RFunct.SUB:
+            return a - b
+        if funct is RFunct.AND:
+            return a & b
+        if funct is RFunct.OR:
+            return a | b
+        if funct is RFunct.XOR:
+            return a ^ b
+        if funct is RFunct.SLL:
+            return a << (b & 31)
+        if funct is RFunct.SRL:
+            return (a & _WORD_MASK) >> (b & 31)
+        if funct is RFunct.SRA:
+            return sa >> (b & 31)
+        if funct is RFunct.SLT:
+            return 1 if sa < sb else 0
+        if funct is RFunct.SLTU:
+            return 1 if (a & _WORD_MASK) < (b & _WORD_MASK) else 0
+        if funct is RFunct.MUL:
+            return sa * sb
+        if funct is RFunct.DIV:
+            if sb == 0:
+                return _WORD_MASK  # division by zero: all-ones, RISC-V style
+            return int(sa / sb)  # truncate toward zero
+        if funct is RFunct.REM:
+            if sb == 0:
+                return a
+            return sa - int(sa / sb) * sb
+        raise ExecutionError(f"unimplemented funct {funct!r}")  # pragma: no cover
+
+    @staticmethod
+    def _alu_imm(op: Opcode, a: int, imm: int) -> int:
+        sa = _to_signed(a)
+        unsigned_imm = imm & 0xFFFF
+        if op is Opcode.ADDI:
+            return a + imm
+        if op is Opcode.ANDI:
+            return a & unsigned_imm
+        if op is Opcode.ORI:
+            return a | unsigned_imm
+        if op is Opcode.XORI:
+            return a ^ unsigned_imm
+        if op is Opcode.SLTI:
+            return 1 if sa < imm else 0
+        if op is Opcode.SLLI:
+            return a << (imm & 31)
+        if op is Opcode.SRLI:
+            return (a & _WORD_MASK) >> (imm & 31)
+        if op is Opcode.SRAI:
+            return sa >> (imm & 31)
+        raise ExecutionError(f"unimplemented immediate opcode {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _branch_taken(op: Opcode, a: int, b: int) -> bool:
+        sa, sb = _to_signed(a), _to_signed(b)
+        if op is Opcode.BEQ:
+            return a == b
+        if op is Opcode.BNE:
+            return a != b
+        if op is Opcode.BLT:
+            return sa < sb
+        if op is Opcode.BGE:
+            return sa >= sb
+        if op is Opcode.BLTU:
+            return (a & _WORD_MASK) < (b & _WORD_MASK)
+        if op is Opcode.BGEU:
+            return (a & _WORD_MASK) >= (b & _WORD_MASK)
+        raise ExecutionError(f"not a branch: {op!r}")  # pragma: no cover
+
+
+def _to_signed_width(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value

@@ -1,0 +1,153 @@
+"""Disassembler for the package RISC ISA.
+
+Turns encoded words back into assembler-compatible text.  Round-tripping
+``assemble(disassemble(program))`` is exercised in the test suite, which
+makes the disassembler double as a consistency check on the encoder tables.
+
+Labels are synthesized for branch/jump targets (``L_<byte-address>``), so
+the output is directly re-assemblable.
+"""
+
+from __future__ import annotations
+
+from .assembler import Program
+from .instructions import Instruction, Opcode, RFunct, decode
+
+__all__ = ["disassemble_word", "disassemble_program"]
+
+_R_NAMES = {
+    RFunct.ADD: "add",
+    RFunct.SUB: "sub",
+    RFunct.AND: "and",
+    RFunct.OR: "or",
+    RFunct.XOR: "xor",
+    RFunct.SLL: "sll",
+    RFunct.SRL: "srl",
+    RFunct.SRA: "sra",
+    RFunct.SLT: "slt",
+    RFunct.SLTU: "sltu",
+    RFunct.MUL: "mul",
+    RFunct.DIV: "div",
+    RFunct.REM: "rem",
+}
+
+_I_ALU_NAMES = {
+    Opcode.ADDI: "addi",
+    Opcode.ANDI: "andi",
+    Opcode.ORI: "ori",
+    Opcode.XORI: "xori",
+    Opcode.SLTI: "slti",
+    Opcode.SLLI: "slli",
+    Opcode.SRLI: "srli",
+    Opcode.SRAI: "srai",
+}
+
+_LOAD_NAMES = {
+    Opcode.LW: "lw",
+    Opcode.LH: "lh",
+    Opcode.LB: "lb",
+    Opcode.LHU: "lhu",
+    Opcode.LBU: "lbu",
+}
+
+_STORE_NAMES = {Opcode.SW: "sw", Opcode.SH: "sh", Opcode.SB: "sb"}
+
+_BRANCH_NAMES = {
+    Opcode.BEQ: "beq",
+    Opcode.BNE: "bne",
+    Opcode.BLT: "blt",
+    Opcode.BGE: "bge",
+    Opcode.BLTU: "bltu",
+    Opcode.BGEU: "bgeu",
+}
+
+_LOGICAL = {Opcode.ANDI, Opcode.ORI, Opcode.XORI}
+
+
+def _reg(index: int) -> str:
+    return f"r{index}"
+
+
+def disassemble_word(word: int, pc: int = 0, labels: dict[int, str] | None = None) -> str:
+    """Disassemble one instruction word at byte address ``pc``.
+
+    ``labels`` maps byte addresses to label names for branch/jump targets;
+    unknown targets are rendered as numeric offsets via synthesized labels.
+    """
+    ins = decode(word)
+    op = ins.opcode
+
+    if op is Opcode.RTYPE:
+        return f"{_R_NAMES[ins.funct]} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+    if op in _I_ALU_NAMES:
+        imm = ins.imm & 0xFFFF if op in _LOGICAL else ins.imm
+        return f"{_I_ALU_NAMES[op]} {_reg(ins.rd)}, {_reg(ins.rs1)}, {imm}"
+    if op is Opcode.LUI:
+        return f"lui {_reg(ins.rd)}, {ins.imm & 0xFFFF}"
+    if op in _LOAD_NAMES:
+        return f"{_LOAD_NAMES[op]} {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if op in _STORE_NAMES:
+        return f"{_STORE_NAMES[op]} {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if op in _BRANCH_NAMES:
+        target = pc + 4 + 4 * ins.imm
+        name = labels.get(target) if labels else None
+        if name is None:
+            name = f"L_{target:x}"
+        return f"{_BRANCH_NAMES[op]} {_reg(ins.rd)}, {_reg(ins.rs1)}, {name}"
+    if op is Opcode.JAL:
+        target = pc + 4 + 4 * ins.imm
+        name = labels.get(target) if labels else None
+        if name is None:
+            name = f"L_{target:x}"
+        return f"jal {_reg(ins.rd)}, {name}"
+    if op is Opcode.JALR:
+        return f"jalr {_reg(ins.rd)}, {_reg(ins.rs1)}, {ins.imm}"
+    if op is Opcode.HALT:
+        return "halt"
+    raise ValueError(f"cannot disassemble opcode {op!r}")  # pragma: no cover
+
+
+def _collect_targets(program: Program) -> dict[int, str]:
+    """Synthesize a label for every branch/jump target in the text segment."""
+    labels: dict[int, str] = {}
+    for index, word in enumerate(program.text_words):
+        pc = program.text_base + 4 * index
+        ins = decode(word)
+        if ins.is_branch or ins.opcode is Opcode.JAL:
+            target = pc + 4 + 4 * ins.imm
+            labels.setdefault(target, f"L_{target:x}")
+    return labels
+
+
+def disassemble_program(program: Program) -> str:
+    """Disassemble a whole program into re-assemblable source text.
+
+    The data segment is emitted as raw ``.word`` directives (preserving
+    content, not the original symbolic structure); the text segment gets
+    synthesized labels at every branch/jump target and at the entry point.
+    """
+    labels = _collect_targets(program)
+    entry = program.entry
+    lines: list[str] = []
+
+    if program.data_bytes:
+        lines.append("        .data")
+        padded = program.data_bytes + b"\x00" * (-len(program.data_bytes) % 4)
+        words = [
+            int.from_bytes(padded[index : index + 4], "little")
+            for index in range(0, len(padded), 4)
+        ]
+        for start in range(0, len(words), 8):
+            chunk = ", ".join(str(word) for word in words[start : start + 8])
+            lines.append(f"        .word {chunk}")
+
+    lines.append("        .text")
+    for index, word in enumerate(program.text_words):
+        pc = program.text_base + 4 * index
+        prefix = ""
+        if pc == entry and "main" not in labels.values():
+            lines.append("main:")
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        lines.append(f"        {disassemble_word(word, pc, labels)}")
+    return "\n".join(lines) + "\n"

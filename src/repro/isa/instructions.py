@@ -1,0 +1,248 @@
+"""ISA definition: a compact 32-bit load/store RISC.
+
+The address-clustering paper profiled applications on an ARM7 core; the
+compression paper used an Lx-ST200 VLIW and a MIPS via SimpleScalar.  None of
+those toolchains is available offline, so this package defines its own small
+RISC — close enough in structure (32-bit fixed-width instructions, 32
+registers, load/store architecture, 16-bit immediates) that traces have the
+same shape: stack discipline, array sweeps, scalar hot spots, tight loops.
+
+Encoding (big fields first)::
+
+    31       26 25   21 20   16 15   11 10            0
+    [ opcode 6 ][ rd 5 ][ rs1 5 ][ rs2 5 ][   funct 11  ]   R-type
+    [ opcode 6 ][ rd 5 ][ rs1 5 ][       imm16          ]   I-type
+    [ opcode 6 ][ rd 5 ][           imm21               ]   J-type
+
+Conventions:
+
+* register ``r0`` is hardwired to zero; ``sp`` = r29, ``ra`` = r31;
+* branch/jump offsets are in *words*, relative to the next instruction;
+* stores put the value register in the ``rd`` field (``sw rv, off(rb)``);
+* branches compare ``rd`` and ``rs1`` (``beq ra, rb, label``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Format",
+    "Opcode",
+    "RFunct",
+    "Instruction",
+    "encode",
+    "decode",
+    "REGISTER_NAMES",
+    "register_number",
+    "NUM_REGISTERS",
+    "sign_extend",
+]
+
+NUM_REGISTERS = 32
+
+
+class Format(enum.Enum):
+    """Instruction format."""
+
+    R = "R"
+    I = "I"
+    J = "J"
+
+
+class Opcode(enum.IntEnum):
+    """Primary opcodes."""
+
+    RTYPE = 0x00
+    ADDI = 0x08
+    ANDI = 0x09
+    ORI = 0x0A
+    XORI = 0x0B
+    SLTI = 0x0C
+    SLLI = 0x0D
+    SRLI = 0x0E
+    SRAI = 0x0F
+    LUI = 0x10
+    LW = 0x11
+    LH = 0x12
+    LB = 0x13
+    LHU = 0x14
+    LBU = 0x15
+    SW = 0x16
+    SH = 0x17
+    SB = 0x18
+    BEQ = 0x19
+    BNE = 0x1A
+    BLT = 0x1B
+    BGE = 0x1C
+    BLTU = 0x1D
+    BGEU = 0x1E
+    JALR = 0x1F
+    JAL = 0x20
+    HALT = 0x3F
+
+
+class RFunct(enum.IntEnum):
+    """R-type function codes."""
+
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SLL = 0x06
+    SRL = 0x07
+    SRA = 0x08
+    SLT = 0x09
+    SLTU = 0x0A
+    MUL = 0x0B
+    DIV = 0x0C
+    REM = 0x0D
+
+
+LOAD_OPCODES = {Opcode.LW: 4, Opcode.LH: 2, Opcode.LB: 1, Opcode.LHU: 2, Opcode.LBU: 1}
+STORE_OPCODES = {Opcode.SW: 4, Opcode.SH: 2, Opcode.SB: 1}
+BRANCH_OPCODES = {
+    Opcode.BEQ,
+    Opcode.BNE,
+    Opcode.BLT,
+    Opcode.BGE,
+    Opcode.BLTU,
+    Opcode.BGEU,
+}
+
+REGISTER_NAMES = {f"r{index}": index for index in range(NUM_REGISTERS)}
+REGISTER_NAMES.update({"zero": 0, "sp": 29, "fp": 30, "ra": 31})
+
+
+def register_number(name: str) -> int:
+    """Resolve a register name (``r7``, ``sp``, ``ra``, ...) to its number."""
+    key = name.strip().lower()
+    if key not in REGISTER_NAMES:
+        raise ValueError(f"unknown register: {name!r}")
+    return REGISTER_NAMES[key]
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``imm`` holds the *sign-extended* immediate for I/J formats and the funct
+    code is carried in ``funct`` for R-type.
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    funct: RFunct | None = None
+    imm: int = 0
+
+    @property
+    def format(self) -> Format:
+        """Instruction format implied by the opcode."""
+        if self.opcode is Opcode.RTYPE:
+            return Format.R
+        if self.opcode in (Opcode.JAL, Opcode.HALT):
+            return Format.J
+        return Format.I
+
+    @property
+    def is_load(self) -> bool:
+        """``True`` for load instructions."""
+        return self.opcode in LOAD_OPCODES
+
+    @property
+    def is_store(self) -> bool:
+        """``True`` for store instructions."""
+        return self.opcode in STORE_OPCODES
+
+    @property
+    def is_branch(self) -> bool:
+        """``True`` for conditional branches."""
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def access_size(self) -> int:
+        """Byte width of the memory access (loads/stores only)."""
+        if self.opcode in LOAD_OPCODES:
+            return LOAD_OPCODES[self.opcode]
+        if self.opcode in STORE_OPCODES:
+            return STORE_OPCODES[self.opcode]
+        raise ValueError(f"{self.opcode.name} does not access memory")
+
+
+def _check_register(value: int, field: str) -> None:
+    if not 0 <= value < NUM_REGISTERS:
+        raise ValueError(f"{field} out of range: {value}")
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    _check_register(instruction.rd, "rd")
+    _check_register(instruction.rs1, "rs1")
+    _check_register(instruction.rs2, "rs2")
+    word = (int(instruction.opcode) & 0x3F) << 26
+    fmt = instruction.format
+    if fmt is Format.R:
+        if instruction.funct is None:
+            raise ValueError("R-type instruction requires a funct code")
+        word |= (instruction.rd & 0x1F) << 21
+        word |= (instruction.rs1 & 0x1F) << 16
+        word |= (instruction.rs2 & 0x1F) << 11
+        word |= int(instruction.funct) & 0x7FF
+    elif fmt is Format.I:
+        if not -(1 << 15) <= instruction.imm < (1 << 15):
+            raise ValueError(f"imm16 out of range: {instruction.imm}")
+        word |= (instruction.rd & 0x1F) << 21
+        word |= (instruction.rs1 & 0x1F) << 16
+        word |= instruction.imm & 0xFFFF
+    else:  # J
+        if not -(1 << 20) <= instruction.imm < (1 << 20):
+            raise ValueError(f"imm21 out of range: {instruction.imm}")
+        word |= (instruction.rd & 0x1F) << 21
+        word |= instruction.imm & 0x1FFFFF
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`."""
+    if not 0 <= word < (1 << 32):
+        raise ValueError(f"word out of 32-bit range: {word:#x}")
+    opcode_value = (word >> 26) & 0x3F
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as error:
+        raise ValueError(f"unknown opcode {opcode_value:#x} in word {word:#010x}") from error
+    rd = (word >> 21) & 0x1F
+    if opcode is Opcode.RTYPE:
+        funct_value = word & 0x7FF
+        try:
+            funct = RFunct(funct_value)
+        except ValueError as error:
+            raise ValueError(f"unknown funct {funct_value:#x} in word {word:#010x}") from error
+        return Instruction(
+            opcode=opcode,
+            rd=rd,
+            rs1=(word >> 16) & 0x1F,
+            rs2=(word >> 11) & 0x1F,
+            funct=funct,
+        )
+    if opcode in (Opcode.JAL, Opcode.HALT):
+        return Instruction(opcode=opcode, rd=rd, imm=sign_extend(word, 21))
+    return Instruction(
+        opcode=opcode,
+        rd=rd,
+        rs1=(word >> 16) & 0x1F,
+        imm=sign_extend(word, 16),
+    )

@@ -1,0 +1,764 @@
+"""Embedded benchmark kernels, written in the package's assembly dialect.
+
+The original papers profiled MediaBench/Ptolemy/DSP applications.  This module
+provides the same *workload classes* as self-contained kernels: filtering,
+linear algebra, sorting, bit manipulation, table lookup, string processing,
+and recursion (stack traffic).  All data is generated deterministically from a
+small LCG so every run of every kernel is reproducible.
+
+Use :func:`load_kernel` / :func:`kernel_names` for access by name, or call the
+individual builders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from .assembler import Assembler, Program
+
+__all__ = [
+    "kernel_names",
+    "load_kernel",
+    "build_dot_product",
+    "build_fir",
+    "build_matmul",
+    "build_bubble_sort",
+    "build_crc32",
+    "build_histogram",
+    "build_string_search",
+    "build_saxpy",
+    "build_idct_rows",
+    "build_fib_recursive",
+    "build_aos_field_sum",
+    "build_table_lookup",
+    "build_quicksort",
+    "build_transpose",
+    "build_binary_search",
+    "build_firmware",
+]
+
+
+def _lcg(seed: int) -> Callable[[], int]:
+    """Tiny deterministic pseudo-random generator (31-bit outputs)."""
+    state = seed & 0x7FFFFFFF or 1
+
+    def step() -> int:
+        nonlocal state
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        return state
+
+    return step
+
+
+def _words(values: Iterable[int], per_line: int = 8) -> str:
+    """Format integers as .word directives, ``per_line`` per line."""
+    values = list(values)
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(value) for value in values[start : start + per_line])
+        lines.append(f"        .word {chunk}")
+    return "\n".join(lines)
+
+
+def _bytes_directive(values: Iterable[int], per_line: int = 16) -> str:
+    """Format integers as .byte directives."""
+    values = list(values)
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(value & 0xFF) for value in values[start : start + per_line])
+        lines.append(f"        .byte {chunk}")
+    return "\n".join(lines)
+
+
+def _assemble(source: str, name: str) -> Program:
+    return Assembler().assemble(source, name=name)
+
+
+def build_dot_product(n: int = 256, seed: int = 11) -> Program:
+    """Integer dot product of two ``n``-element vectors."""
+    rand = _lcg(seed)
+    a = [rand() % 1000 - 500 for _ in range(n)]
+    b = [rand() % 1000 - 500 for _ in range(n)]
+    source = f"""
+        .data
+a:
+{_words(a)}
+b:
+{_words(b)}
+result: .word 0
+        .text
+main:   la   r1, a
+        la   r2, b
+        li   r3, {n}
+        li   r4, 0
+loop:   lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        mul  r7, r5, r6
+        add  r4, r4, r7
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne  r3, zero, loop
+        la   r8, result
+        sw   r4, 0(r8)
+        halt
+"""
+    return _assemble(source, f"dot_product{n}")
+
+
+def build_fir(n: int = 256, taps: int = 16, seed: int = 22) -> Program:
+    """FIR filter: ``taps``-tap convolution over ``n`` samples."""
+    rand = _lcg(seed)
+    samples = [rand() % 2048 - 1024 for _ in range(n)]
+    coefficients = [rand() % 64 - 32 for _ in range(taps)]
+    outputs = n - taps + 1
+    source = f"""
+        .data
+x:
+{_words(samples)}
+h:
+{_words(coefficients)}
+y:      .space {4 * outputs}
+        .text
+main:   la   r1, x
+        la   r2, h
+        la   r3, y
+        li   r4, {outputs}
+outer:  li   r5, {taps}
+        mv   r6, r1
+        mv   r7, r2
+        li   r8, 0
+inner:  lw   r9, 0(r6)
+        lw   r10, 0(r7)
+        mul  r11, r9, r10
+        add  r8, r8, r11
+        addi r6, r6, 4
+        addi r7, r7, 4
+        addi r5, r5, -1
+        bne  r5, zero, inner
+        srai r8, r8, 6
+        sw   r8, 0(r3)
+        addi r3, r3, 4
+        addi r1, r1, 4
+        addi r4, r4, -1
+        bne  r4, zero, outer
+        halt
+"""
+    return _assemble(source, f"fir{n}x{taps}")
+
+
+def build_matmul(n: int = 12, seed: int = 33) -> Program:
+    """Dense ``n``×``n`` integer matrix multiply (three nested loops)."""
+    rand = _lcg(seed)
+    a = [rand() % 100 - 50 for _ in range(n * n)]
+    b = [rand() % 100 - 50 for _ in range(n * n)]
+    source = f"""
+        .data
+A:
+{_words(a)}
+B:
+{_words(b)}
+C:      .space {4 * n * n}
+        .text
+main:   la   r1, A
+        la   r2, B
+        la   r3, C
+        li   r20, {n}
+        li   r4, 0
+iloop:  li   r5, 0
+jloop:  li   r6, 0
+        li   r7, 0
+kloop:  mul  r8, r4, r20
+        add  r8, r8, r6
+        slli r8, r8, 2
+        add  r8, r8, r1
+        lw   r9, 0(r8)
+        mul  r10, r6, r20
+        add  r10, r10, r5
+        slli r10, r10, 2
+        add  r10, r10, r2
+        lw   r11, 0(r10)
+        mul  r12, r9, r11
+        add  r7, r7, r12
+        addi r6, r6, 1
+        blt  r6, r20, kloop
+        mul  r8, r4, r20
+        add  r8, r8, r5
+        slli r8, r8, 2
+        add  r8, r8, r3
+        sw   r7, 0(r8)
+        addi r5, r5, 1
+        blt  r5, r20, jloop
+        addi r4, r4, 1
+        blt  r4, r20, iloop
+        halt
+"""
+    return _assemble(source, f"matmul{n}")
+
+
+def build_bubble_sort(n: int = 96, seed: int = 44) -> Program:
+    """Bubble sort of ``n`` integers (heavy read-modify-write traffic)."""
+    rand = _lcg(seed)
+    values = [rand() % 10000 for _ in range(n)]
+    source = f"""
+        .data
+arr:
+{_words(values)}
+        .text
+main:   la   r1, arr
+        li   r2, {n}
+        addi r3, r2, -1
+outer:  li   r4, 0
+        mv   r5, r1
+inner:  lw   r6, 0(r5)
+        lw   r7, 4(r5)
+        bge  r7, r6, noswap
+        sw   r7, 0(r5)
+        sw   r6, 4(r5)
+noswap: addi r5, r5, 4
+        addi r4, r4, 1
+        blt  r4, r3, inner
+        addi r3, r3, -1
+        bne  r3, zero, outer
+        halt
+"""
+    return _assemble(source, f"bubble_sort{n}")
+
+
+def build_crc32(n: int = 256, seed: int = 55) -> Program:
+    """Bitwise CRC-32 (poly 0xEDB88320) over an ``n``-byte buffer."""
+    rand = _lcg(seed)
+    payload = [rand() % 256 for _ in range(n)]
+    source = f"""
+        .data
+data:
+{_bytes_directive(payload)}
+        .align 4
+crc_out: .word 0
+        .text
+main:   la   r1, data
+        li   r2, {n}
+        li   r3, -1
+        li   r10, 0xEDB88320
+byte:   lbu  r4, 0(r1)
+        xor  r3, r3, r4
+        li   r5, 8
+bit:    andi r6, r3, 1
+        srli r3, r3, 1
+        beq  r6, zero, skip
+        xor  r3, r3, r10
+skip:   addi r5, r5, -1
+        bne  r5, zero, bit
+        addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, zero, byte
+        li   r8, -1
+        xor  r3, r3, r8
+        la   r7, crc_out
+        sw   r3, 0(r7)
+        halt
+"""
+    return _assemble(source, f"crc32_{n}")
+
+
+def build_histogram(n: int = 512, seed: int = 66) -> Program:
+    """Histogram of ``n`` bytes into 16 bins keyed by the high nibble."""
+    rand = _lcg(seed)
+    payload = [rand() % 256 for _ in range(n)]
+    source = f"""
+        .data
+data:
+{_bytes_directive(payload)}
+        .align 4
+bins:   .space 64
+        .text
+main:   la   r1, data
+        la   r2, bins
+        li   r3, {n}
+loop:   lbu  r4, 0(r1)
+        srli r4, r4, 4
+        slli r4, r4, 2
+        add  r5, r2, r4
+        lw   r6, 0(r5)
+        addi r6, r6, 1
+        sw   r6, 0(r5)
+        addi r1, r1, 1
+        addi r3, r3, -1
+        bne  r3, zero, loop
+        halt
+"""
+    return _assemble(source, f"histogram{n}")
+
+
+def build_string_search(text_len: int = 512, pattern_len: int = 8, seed: int = 77) -> Program:
+    """Naive substring search; counts occurrences of an embedded pattern."""
+    rand = _lcg(seed)
+    # Small alphabet so matches actually occur.
+    text = [ord("a") + rand() % 4 for _ in range(text_len)]
+    pattern = [ord("a") + rand() % 4 for _ in range(pattern_len)]
+    # Plant the pattern a few times.
+    for position in (17, 190, 411):
+        text[position : position + pattern_len] = pattern
+    positions = text_len - pattern_len + 1
+    source = f"""
+        .data
+text:
+{_bytes_directive(text)}
+pat:
+{_bytes_directive(pattern)}
+        .align 4
+count:  .word 0
+        .text
+main:   la   r1, text
+        li   r2, {positions}
+        li   r9, 0
+pos:    li   r3, {pattern_len}
+        mv   r4, r1
+        la   r5, pat
+cmp:    lbu  r6, 0(r4)
+        lbu  r7, 0(r5)
+        bne  r6, r7, fail
+        addi r4, r4, 1
+        addi r5, r5, 1
+        addi r3, r3, -1
+        bne  r3, zero, cmp
+        addi r9, r9, 1
+fail:   addi r1, r1, 1
+        addi r2, r2, -1
+        bne  r2, zero, pos
+        la   r8, count
+        sw   r9, 0(r8)
+        halt
+"""
+    return _assemble(source, f"strsearch{text_len}")
+
+
+def build_saxpy(n: int = 256, a: int = 7, seed: int = 88) -> Program:
+    """``y[i] = a*x[i] + y[i]`` over ``n`` elements."""
+    rand = _lcg(seed)
+    x = [rand() % 512 - 256 for _ in range(n)]
+    y = [rand() % 512 - 256 for _ in range(n)]
+    source = f"""
+        .data
+x:
+{_words(x)}
+y:
+{_words(y)}
+        .text
+main:   la   r1, x
+        la   r2, y
+        li   r3, {n}
+        li   r4, {a}
+loop:   lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        mul  r7, r5, r4
+        add  r7, r7, r6
+        sw   r7, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne  r3, zero, loop
+        halt
+"""
+    return _assemble(source, f"saxpy{n}")
+
+
+def build_idct_rows(rows: int = 32, seed: int = 99) -> Program:
+    """Butterfly pass over ``rows`` rows of 8 coefficients (IDCT-style)."""
+    rand = _lcg(seed)
+    blocks = [rand() % 512 - 256 for _ in range(rows * 8)]
+    source = f"""
+        .data
+blocks:
+{_words(blocks)}
+        .text
+main:   la   r1, blocks
+        li   r2, {rows}
+row:    lw   r3, 0(r1)
+        lw   r4, 28(r1)
+        add  r5, r3, r4
+        sub  r6, r3, r4
+        sw   r5, 0(r1)
+        sw   r6, 28(r1)
+        lw   r3, 4(r1)
+        lw   r4, 24(r1)
+        add  r5, r3, r4
+        sub  r6, r3, r4
+        sw   r5, 4(r1)
+        sw   r6, 24(r1)
+        lw   r3, 8(r1)
+        lw   r4, 20(r1)
+        add  r5, r3, r4
+        sub  r6, r3, r4
+        sw   r5, 8(r1)
+        sw   r6, 20(r1)
+        lw   r3, 12(r1)
+        lw   r4, 16(r1)
+        add  r5, r3, r4
+        sub  r6, r3, r4
+        sw   r5, 12(r1)
+        sw   r6, 16(r1)
+        addi r1, r1, 32
+        addi r2, r2, -1
+        bne  r2, zero, row
+        halt
+"""
+    return _assemble(source, f"idct_rows{rows}")
+
+
+def build_fib_recursive(n: int = 14) -> Program:
+    """Recursive Fibonacci — pure stack traffic (frames, saves, restores)."""
+    source = f"""
+        .data
+out:    .word 0
+        .text
+main:   li   r1, {n}
+        jal  fib
+        la   r3, out
+        sw   r2, 0(r3)
+        halt
+fib:    li   r4, 2
+        blt  r1, r4, base
+        addi sp, sp, -12
+        sw   ra, 0(sp)
+        sw   r1, 4(sp)
+        addi r1, r1, -1
+        jal  fib
+        sw   r2, 8(sp)
+        lw   r1, 4(sp)
+        addi r1, r1, -2
+        jal  fib
+        lw   r5, 8(sp)
+        add  r2, r2, r5
+        lw   ra, 0(sp)
+        addi sp, sp, 12
+        ret
+base:   mv   r2, r1
+        ret
+"""
+    return _assemble(source, f"fib{n}")
+
+
+def build_aos_field_sum(num_structs: int = 64, passes: int = 40, seed: int = 110) -> Program:
+    """Hot-field reduction over an array of 32-byte structs.
+
+    Only word 0 of each struct is read in the hot loop; the remaining seven
+    words are touched once in a final cold sweep.  At sub-struct block
+    granularity the hot blocks are therefore *interleaved* with cold ones —
+    the fragmentation pattern address clustering (E1) repairs.
+    """
+    rand = _lcg(seed)
+    structs = [rand() % 1000 - 500 for _ in range(num_structs * 8)]
+    source = f"""
+        .data
+structs:
+{_words(structs)}
+out:    .word 0
+        .text
+main:   la   r1, structs
+        li   r2, {passes}
+        li   r5, 0
+pass:   mv   r3, r1
+        li   r4, {num_structs}
+sum:    lw   r6, 0(r3)
+        add  r5, r5, r6
+        addi r3, r3, 32
+        addi r4, r4, -1
+        bne  r4, zero, sum
+        addi r2, r2, -1
+        bne  r2, zero, pass
+        mv   r3, r1
+        li   r4, {num_structs * 8}
+cold:   lw   r6, 0(r3)
+        addi r3, r3, 4
+        addi r4, r4, -1
+        bne  r4, zero, cold
+        la   r7, out
+        sw   r5, 0(r7)
+        halt
+"""
+    return _assemble(source, f"aos_field_sum{num_structs}")
+
+
+def build_table_lookup(
+    table_size: int = 512, num_indices: int = 64, passes: int = 50, hot_entries: int = 16, seed: int = 120
+) -> Program:
+    """Repeated indexed lookups hitting a few *scattered* hot table entries.
+
+    The index stream concentrates on ``hot_entries`` randomly-placed slots of
+    a large table — the classic fragmented-hot-set workload (hash tables,
+    palette lookups) where clustering beats partitioning-alone by the widest
+    margin.
+    """
+    rand = _lcg(seed)
+    table = [rand() % 4096 - 2048 for _ in range(table_size)]
+    hot = sorted({rand() % table_size for _ in range(hot_entries * 2)})[:hot_entries]
+    indices = [hot[rand() % len(hot)] for _ in range(num_indices)]
+    source = f"""
+        .data
+table:
+{_words(table)}
+idx:
+{_words(indices)}
+out:    .word 0
+        .text
+main:   la   r1, table
+        la   r2, idx
+        mv   r4, r1
+        li   r5, {table_size}
+init:   lw   r6, 0(r4)
+        addi r6, r6, 1
+        sw   r6, 0(r4)
+        addi r4, r4, 4
+        addi r5, r5, -1
+        bne  r5, zero, init
+        li   r3, {passes}
+        li   r9, 0
+pass:   mv   r4, r2
+        li   r5, {num_indices}
+look:   lw   r6, 0(r4)
+        slli r6, r6, 2
+        add  r7, r6, r1
+        lw   r8, 0(r7)
+        add  r9, r9, r8
+        addi r4, r4, 4
+        addi r5, r5, -1
+        bne  r5, zero, look
+        addi r3, r3, -1
+        bne  r3, zero, pass
+        la   r10, out
+        sw   r9, 0(r10)
+        halt
+"""
+    return _assemble(source, f"table_lookup{table_size}")
+
+
+def build_quicksort(n: int = 128, seed: int = 130) -> Program:
+    """Recursive quicksort (Lomuto partition) — deep stack + data traffic."""
+    rand = _lcg(seed)
+    values = [rand() % 100000 for _ in range(n)]
+    source = f"""
+        .data
+arr:
+{_words(values)}
+        .text
+main:   la   r20, arr
+        li   r1, 0
+        li   r2, {n - 1}
+        jal  qsort
+        halt
+qsort:  bge  r1, r2, qret
+        addi sp, sp, -16
+        sw   ra, 0(sp)
+        sw   r1, 4(sp)
+        sw   r2, 8(sp)
+        slli r3, r2, 2
+        add  r3, r3, r20
+        lw   r4, 0(r3)
+        mv   r5, r1
+        mv   r6, r1
+ploop:  bge  r6, r2, pdone
+        slli r7, r6, 2
+        add  r7, r7, r20
+        lw   r8, 0(r7)
+        bge  r8, r4, noswp
+        slli r9, r5, 2
+        add  r9, r9, r20
+        lw   r10, 0(r9)
+        sw   r8, 0(r9)
+        sw   r10, 0(r7)
+        addi r5, r5, 1
+noswp:  addi r6, r6, 1
+        j    ploop
+pdone:  slli r9, r5, 2
+        add  r9, r9, r20
+        lw   r10, 0(r9)
+        lw   r11, 0(r3)
+        sw   r11, 0(r9)
+        sw   r10, 0(r3)
+        sw   r5, 12(sp)
+        addi r2, r5, -1
+        jal  qsort
+        lw   r5, 12(sp)
+        lw   r2, 8(sp)
+        addi r1, r5, 1
+        jal  qsort
+        lw   ra, 0(sp)
+        addi sp, sp, 16
+qret:   ret
+"""
+    return _assemble(source, f"quicksort{n}")
+
+
+def build_transpose(n: int = 24, seed: int = 140) -> Program:
+    """In-place square matrix transpose — strided, symmetric traffic."""
+    rand = _lcg(seed)
+    matrix = [rand() % 1000 for _ in range(n * n)]
+    source = f"""
+        .data
+M:
+{_words(matrix)}
+        .text
+main:   la   r20, M
+        li   r21, {n}
+        li   r1, 0
+iloop:  addi r2, r1, 1
+jloop:  bge  r2, r21, jdone
+        mul  r3, r1, r21
+        add  r3, r3, r2
+        slli r3, r3, 2
+        add  r3, r3, r20
+        mul  r4, r2, r21
+        add  r4, r4, r1
+        slli r4, r4, 2
+        add  r4, r4, r20
+        lw   r5, 0(r3)
+        lw   r6, 0(r4)
+        sw   r6, 0(r3)
+        sw   r5, 0(r4)
+        addi r2, r2, 1
+        j    jloop
+jdone:  addi r1, r1, 1
+        blt  r1, r21, iloop
+        halt
+"""
+    return _assemble(source, f"transpose{n}")
+
+
+def build_binary_search(table_size: int = 256, queries: int = 64, seed: int = 150) -> Program:
+    """Repeated binary searches over a sorted table; counts hits."""
+    rand = _lcg(seed)
+    table = sorted({rand() % 100000 for _ in range(table_size * 2)})[:table_size]
+    while len(table) < table_size:  # pragma: no cover - extremely unlikely
+        table.append(table[-1] + 1)
+    keys = []
+    for index in range(queries):
+        if index % 2 == 0:
+            keys.append(table[rand() % table_size])  # guaranteed present
+        else:
+            keys.append(rand() % 100000)  # maybe absent
+    source = f"""
+        .data
+table:
+{_words(table)}
+queries:
+{_words(keys)}
+out:    .word 0
+        .text
+main:   la   r20, table
+        la   r21, queries
+        li   r22, {queries}
+        li   r9, 0
+qloop:  lw   r1, 0(r21)
+        li   r2, 0
+        li   r3, {table_size}
+bs:     bge  r2, r3, miss
+        add  r4, r2, r3
+        srli r4, r4, 1
+        slli r5, r4, 2
+        add  r5, r5, r20
+        lw   r6, 0(r5)
+        beq  r6, r1, hit
+        blt  r6, r1, goright
+        mv   r3, r4
+        j    bs
+goright: addi r2, r4, 1
+        j    bs
+hit:    addi r9, r9, 1
+miss:   addi r21, r21, 4
+        addi r22, r22, -1
+        bne  r22, zero, qloop
+        la   r8, out
+        sw   r9, 0(r8)
+        halt
+"""
+    return _assemble(source, f"binsearch{table_size}")
+
+
+def build_firmware(
+    hot_functions: int = 4,
+    cold_functions: int = 48,
+    hot_calls: int = 150,
+    body_ops: int = 24,
+    seed: int = 160,
+) -> Program:
+    """A firmware-sized image: few hot functions, many cold ones.
+
+    Real embedded binaries are kilobytes of code of which a small fraction is
+    hot — the structure that profile-driven *code compression* (EX5) and
+    instruction-side experiments need, and that the small algorithm kernels
+    cannot provide.  Cold functions run once (initialization); hot functions
+    are called round-robin from the main loop.
+    """
+    rand = _lcg(seed)
+    ops = ["addi", "xori", "ori", "andi", "slli", "srli"]
+    # Real code draws operands from a small recurring palette (loop strides,
+    # masks, field shifts) — that redundancy is what dictionary compression
+    # feeds on, so the generator reproduces it.
+    immediates = [0, 1, 2, 4, 8, 15, 16, 255]
+    shift_amounts = [1, 2, 4, 8]
+    lines = ["        .data", "out:    .word 0", "        .text"]
+
+    def function_body(index: int) -> list[str]:
+        body = [f"fn{index}:"]
+        register = 3 + index % 8
+        for op_index in range(body_ops):
+            op = ops[rand() % len(ops)]
+            if op in ("slli", "srli"):
+                imm = shift_amounts[rand() % len(shift_amounts)]
+            else:
+                imm = immediates[rand() % len(immediates)]
+            body.append(f"        {op} r{register}, r{register}, {imm}")
+        body.append("        ret")
+        return body
+
+    total = hot_functions + cold_functions
+    main = ["main:"]
+    for index in range(hot_functions, total):  # cold init calls, once each
+        main.append(f"        jal fn{index}")
+    main.append(f"        li   r20, {hot_calls}")
+    main.append("mloop:")
+    for index in range(hot_functions):
+        main.append(f"        jal fn{index}")
+    main.append("        addi r20, r20, -1")
+    main.append("        bne  r20, zero, mloop")
+    main.append("        la   r21, out")
+    main.append("        sw   r3, 0(r21)")
+    main.append("        halt")
+
+    lines.extend(main)
+    for index in range(total):
+        lines.extend(function_body(index))
+    return _assemble("\n".join(lines), f"firmware{total}")
+
+
+_KERNEL_BUILDERS: dict[str, Callable[[], Program]] = {
+    "firmware": build_firmware,
+    "aos_field_sum": build_aos_field_sum,
+    "table_lookup": build_table_lookup,
+    "quicksort": build_quicksort,
+    "transpose": build_transpose,
+    "binary_search": build_binary_search,
+    "dot_product": build_dot_product,
+    "fir": build_fir,
+    "matmul": build_matmul,
+    "bubble_sort": build_bubble_sort,
+    "crc32": build_crc32,
+    "histogram": build_histogram,
+    "string_search": build_string_search,
+    "saxpy": build_saxpy,
+    "idct_rows": build_idct_rows,
+    "fib_recursive": build_fib_recursive,
+}
+
+
+def kernel_names() -> list[str]:
+    """Names of all available kernels."""
+    return sorted(_KERNEL_BUILDERS)
+
+
+def load_kernel(name: str) -> Program:
+    """Build the named kernel with its default parameters."""
+    if name not in _KERNEL_BUILDERS:
+        raise KeyError(f"unknown kernel {name!r}; available: {', '.join(kernel_names())}")
+    return _KERNEL_BUILDERS[name]()

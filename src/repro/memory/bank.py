@@ -1,0 +1,82 @@
+"""A single memory bank with energy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import SRAMEnergyModel
+
+__all__ = ["MemoryBank"]
+
+
+@dataclass
+class MemoryBank:
+    """One SRAM bank covering a contiguous address range.
+
+    Parameters
+    ----------
+    base:
+        First byte address served by the bank.
+    size:
+        Capacity in bytes.
+    model:
+        Energy model used to price accesses.
+    word_bytes:
+        Physical word width.
+    name:
+        Label used in reports.
+    """
+
+    base: int
+    size: int
+    model: SRAMEnergyModel = field(default_factory=SRAMEnergyModel)
+    word_bytes: int = 4
+    name: str = "bank"
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("bank size must be positive")
+        if self.base < 0:
+            raise ValueError("bank base must be non-negative")
+
+    @property
+    def limit(self) -> int:
+        """One past the last byte address served."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this bank."""
+        return self.base <= address < self.limit
+
+    def read(self) -> float:
+        """Record one read; return its energy in pJ."""
+        self.reads += 1
+        return self.model.read_energy(self.size, self.word_bytes)
+
+    def write(self) -> float:
+        """Record one write; return its energy in pJ."""
+        self.writes += 1
+        return self.model.write_energy(self.size, self.word_bytes)
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses served."""
+        return self.reads + self.writes
+
+    @property
+    def dynamic_energy(self) -> float:
+        """Total dynamic energy (pJ) spent so far."""
+        return self.reads * self.model.read_energy(
+            self.size, self.word_bytes
+        ) + self.writes * self.model.write_energy(self.size, self.word_bytes)
+
+    def leakage_energy(self, cycles: int, cycle_time_ns: float = 10.0) -> float:
+        """Leakage energy (pJ) over ``cycles``."""
+        return self.model.leakage_energy(self.size, cycles, cycle_time_ns)
+
+    def reset_counters(self) -> None:
+        """Zero the access counters (keeps geometry)."""
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,76 @@
+"""Off-chip main memory model.
+
+Main memory is accessed in cache-line bursts (refills and write-backs).  Its
+energy model is the DRAM model from :mod:`repro.memory.energy`; the byte count
+per burst is what the compression experiments (E2) shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import DRAMEnergyModel
+
+__all__ = ["MainMemory"]
+
+
+@dataclass
+class MainMemory:
+    """Burst-oriented off-chip memory with energy accounting.
+
+    Parameters
+    ----------
+    model:
+        DRAM energy model.
+    line_bytes:
+        Nominal burst (cache line) size; used only as the default transfer
+        size, individual transfers may override it (compressed lines do).
+    """
+
+    model: DRAMEnergyModel = field(default_factory=DRAMEnergyModel)
+    line_bytes: int = 32
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    energy: float = 0.0
+
+    def read_burst(self, num_bytes: int | None = None) -> float:
+        """Record a burst read of ``num_bytes`` (default line size); return pJ."""
+        size = self.line_bytes if num_bytes is None else num_bytes
+        if size < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.reads += 1
+        self.bytes_read += size
+        delta = self.model.access_energy(size)
+        self.energy += delta
+        return delta
+
+    def write_burst(self, num_bytes: int | None = None) -> float:
+        """Record a burst write of ``num_bytes`` (default line size); return pJ."""
+        size = self.line_bytes if num_bytes is None else num_bytes
+        if size < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.writes += 1
+        self.bytes_written += size
+        delta = self.model.access_energy(size)
+        self.energy += delta
+        return delta
+
+    @property
+    def accesses(self) -> int:
+        """Total bursts served."""
+        return self.reads + self.writes
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
+    def reset_counters(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.energy = 0.0

@@ -1,0 +1,164 @@
+"""Partitioned (multi-bank) and monolithic on-chip memories.
+
+A :class:`PartitionedMemory` is an ordered set of banks covering a contiguous
+address window, plus a bank-selection decoder whose energy grows with the
+number of banks.  Playing a trace through the memory yields per-bank access
+counts and total energy — the objective function of the partitioning and
+clustering algorithms.
+
+:class:`MonolithicMemory` is the single-bank baseline the 1B-1 paper compares
+against (one big SRAM, no decoder overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..trace.events import MemoryAccess
+from ..trace.trace import Trace
+from .bank import MemoryBank
+from .energy import DecoderEnergyModel, SRAMEnergyModel
+
+__all__ = ["PartitionedMemory", "MonolithicMemory", "AccessOutsideMemoryError"]
+
+
+class AccessOutsideMemoryError(LookupError):
+    """Raised when an address falls outside every bank of a memory."""
+
+
+@dataclass
+class MemoryEnergyReport:
+    """Outcome of playing a trace through a memory."""
+
+    bank_energy: float
+    decoder_energy: float
+    leakage_energy: float
+    accesses: int
+
+    @property
+    def total(self) -> float:
+        """Total energy in pJ."""
+        return self.bank_energy + self.decoder_energy + self.leakage_energy
+
+
+class PartitionedMemory:
+    """A multi-bank memory over a contiguous address window.
+
+    Parameters
+    ----------
+    bank_sizes:
+        Capacity of each bank in bytes, in address order.  Bank ``i`` serves
+        the address range ``[base + sum(sizes[:i]), base + sum(sizes[:i+1]))``.
+    base:
+        First address of the memory window.
+    sram_model, decoder_model:
+        Energy models.  The decoder cost is charged once per access.
+    """
+
+    def __init__(
+        self,
+        bank_sizes: Iterable[int],
+        base: int = 0,
+        sram_model: SRAMEnergyModel | None = None,
+        decoder_model: DecoderEnergyModel | None = None,
+    ) -> None:
+        sizes = list(bank_sizes)
+        if not sizes:
+            raise ValueError("at least one bank is required")
+        self.base = base
+        self.sram_model = sram_model if sram_model is not None else SRAMEnergyModel()
+        self.decoder_model = decoder_model if decoder_model is not None else DecoderEnergyModel()
+        self.banks: list[MemoryBank] = []
+        cursor = base
+        for index, size in enumerate(sizes):
+            self.banks.append(
+                MemoryBank(base=cursor, size=size, model=self.sram_model, name=f"bank{index}")
+            )
+            cursor += size
+        self.limit = cursor
+        self._decoder_energy = 0.0
+
+    @property
+    def num_banks(self) -> int:
+        """Number of banks."""
+        return len(self.banks)
+
+    @property
+    def size(self) -> int:
+        """Total capacity in bytes."""
+        return self.limit - self.base
+
+    def bank_for(self, address: int) -> MemoryBank:
+        """Bank serving ``address`` (binary search over the ordered banks)."""
+        if not self.base <= address < self.limit:
+            raise AccessOutsideMemoryError(
+                f"address {address:#x} outside memory [{self.base:#x}, {self.limit:#x})"
+            )
+        low, high = 0, len(self.banks) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if address < self.banks[mid].limit:
+                high = mid
+            else:
+                low = mid + 1
+        return self.banks[low]
+
+    def access(self, event: MemoryAccess) -> float:
+        """Route one access; return its energy (bank + decoder) in pJ."""
+        bank = self.bank_for(event.address)
+        bank_energy = bank.write() if event.is_write else bank.read()
+        decoder_energy = self.decoder_model.access_energy(self.num_banks)
+        self._decoder_energy += decoder_energy
+        return bank_energy + decoder_energy
+
+    def play(self, trace: Trace, include_leakage: bool = False) -> MemoryEnergyReport:
+        """Play a whole trace; return the energy report.
+
+        When ``include_leakage`` is set, every bank leaks for the full trace
+        duration (timestamp span), which penalizes over-provisioned banks.
+        """
+        self.reset_counters()
+        bank_energy = 0.0
+        for event in trace:
+            bank = self.bank_for(event.address)
+            bank_energy += bank.write() if event.is_write else bank.read()
+        decoder_energy = len(trace) * self.decoder_model.access_energy(self.num_banks)
+        self._decoder_energy = decoder_energy
+        leakage = 0.0
+        if include_leakage and len(trace):
+            duration = trace.events[-1].time - trace.events[0].time + 1
+            leakage = sum(bank.leakage_energy(duration) for bank in self.banks)
+        return MemoryEnergyReport(
+            bank_energy=bank_energy,
+            decoder_energy=decoder_energy,
+            leakage_energy=leakage,
+            accesses=len(trace),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero all access counters."""
+        for bank in self.banks:
+            bank.reset_counters()
+        self._decoder_energy = 0.0
+
+    @property
+    def decoder_energy(self) -> float:
+        """Accumulated decoder energy (pJ)."""
+        return self._decoder_energy
+
+    def bank_access_counts(self) -> list[int]:
+        """Accesses per bank, in address order."""
+        return [bank.accesses for bank in self.banks]
+
+
+class MonolithicMemory(PartitionedMemory):
+    """Single-bank baseline: one SRAM covering the whole window, no decoder."""
+
+    def __init__(self, size: int, base: int = 0, sram_model: SRAMEnergyModel | None = None) -> None:
+        super().__init__(
+            [size],
+            base=base,
+            sram_model=sram_model,
+            decoder_model=DecoderEnergyModel(e_per_select_bit=0.0, e_per_bank_wire=0.0),
+        )

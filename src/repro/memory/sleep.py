@@ -1,0 +1,157 @@
+"""Bank sleep (drowsy) modes for partitioned memories.
+
+A major side benefit of memory partitioning — and the reason the technique
+kept paying off as leakage grew through the 2000s — is that a bank nobody is
+accessing can be put into a low-leakage retention state.  A monolithic
+memory can essentially never sleep (every access wakes the whole array);
+a well-partitioned memory keeps the hot bank awake and lets the cold banks
+drowse almost permanently.
+
+The model: each bank sleeps after ``timeout_cycles`` of idleness; a sleeping
+bank leaks at ``sleep_factor`` of its awake rate; waking costs
+``wake_energy`` (driving the virtual-VDD rail back up).  Timing impact is
+ignored — drowsy retention wake-up is a cycle or two, noise at this model's
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.trace import Trace
+from .energy import SRAMEnergyModel
+
+__all__ = ["SleepPolicy", "BankSleepReport", "simulate_bank_sleep"]
+
+
+@dataclass(frozen=True)
+class SleepPolicy:
+    """Drowsy-mode parameters.
+
+    Parameters
+    ----------
+    timeout_cycles:
+        Idle cycles before a bank enters the retention state.
+    sleep_factor:
+        Retention leakage as a fraction of awake leakage.
+    wake_energy:
+        pJ per wake-up event.
+    """
+
+    timeout_cycles: int = 200
+    sleep_factor: float = 0.1
+    wake_energy: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_cycles < 0:
+            raise ValueError("timeout_cycles must be non-negative")
+        if not 0.0 <= self.sleep_factor <= 1.0:
+            raise ValueError("sleep_factor must be in [0, 1]")
+        if self.wake_energy < 0:
+            raise ValueError("wake_energy must be non-negative")
+
+
+@dataclass
+class BankSleepReport:
+    """Leakage accounting of one memory over one trace."""
+
+    always_on_leakage: float
+    managed_leakage: float
+    wake_events: int
+    wake_energy: float
+    sleep_fraction: float  # bank-cycles asleep / total bank-cycles
+
+    @property
+    def total_managed(self) -> float:
+        """Managed leakage plus wake-up costs (pJ)."""
+        return self.managed_leakage + self.wake_energy
+
+    @property
+    def leakage_saving(self) -> float:
+        """Fraction of always-on leakage saved (net of wake-ups)."""
+        if self.always_on_leakage == 0:
+            return 0.0
+        return 1.0 - self.total_managed / self.always_on_leakage
+
+
+def simulate_bank_sleep(
+    bank_sizes: list[int],
+    bank_bases: list[int],
+    layout_trace: Trace,
+    policy: SleepPolicy,
+    sram_model: SRAMEnergyModel | None = None,
+    cycle_time_ns: float = 10.0,
+) -> BankSleepReport:
+    """Replay a layout-space trace and account drowsy-mode leakage.
+
+    ``bank_bases[i]``/``bank_sizes[i]`` describe the address window of bank
+    ``i`` (contiguous, ascending).  Timestamps in the trace are cycles.
+    """
+    if len(bank_sizes) != len(bank_bases):
+        raise ValueError("bank_sizes and bank_bases must align")
+    if sram_model is None:
+        sram_model = SRAMEnergyModel()
+    if not len(layout_trace):
+        return BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+
+    start = layout_trace.events[0].time
+    end = layout_trace.events[-1].time
+    duration = end - start + 1
+
+    # Per-bank sorted access times.
+    access_times: list[list[int]] = [[] for _ in bank_sizes]
+    limits = [base + size for base, size in zip(bank_bases, bank_sizes)]
+    for event in layout_trace:
+        for index, (base, limit) in enumerate(zip(bank_bases, limits)):
+            if base <= event.address < limit:
+                access_times[index].append(event.time)
+                break
+        else:
+            raise ValueError(f"address {event.address:#x} outside every bank")
+
+    always_on = sum(
+        sram_model.leakage_energy(size, duration, cycle_time_ns) for size in bank_sizes
+    )
+    managed = 0.0
+    wakes = 0
+    asleep_bank_cycles = 0
+    total_bank_cycles = duration * len(bank_sizes)
+
+    for index, size in enumerate(bank_sizes):
+        times = access_times[index]
+        rate = sram_model.leakage_energy(size, 1, cycle_time_ns)  # pJ per cycle
+        if not times:
+            # Never touched: asleep for the whole run (one initial wake saved).
+            asleep = duration
+            managed += asleep * rate * policy.sleep_factor
+            asleep_bank_cycles += asleep
+            continue
+        awake = 0
+        asleep = 0
+        # Idle gap before the first access (bank starts asleep).
+        lead = times[0] - start
+        asleep += lead
+        if lead > 0:
+            wakes += 1
+        for previous, current in zip(times, times[1:]):
+            gap = current - previous
+            if gap > policy.timeout_cycles:
+                awake += policy.timeout_cycles
+                asleep += gap - policy.timeout_cycles
+                wakes += 1
+            else:
+                awake += gap
+        # Tail after the last access: awake until timeout, then asleep.
+        tail = end - times[-1] + 1
+        awake += min(tail, policy.timeout_cycles)
+        asleep += max(0, tail - policy.timeout_cycles)
+        managed += awake * rate + asleep * rate * policy.sleep_factor
+        asleep_bank_cycles += asleep
+
+    return BankSleepReport(
+        always_on_leakage=always_on,
+        managed_leakage=managed,
+        wake_events=wakes,
+        wake_energy=wakes * policy.wake_energy,
+        sleep_fraction=asleep_bank_cycles / total_bank_cycles if total_bank_cycles else 0.0,
+    )

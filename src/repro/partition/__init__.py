@@ -1,0 +1,19 @@
+"""Memory partitioning: cost model, optimal DP, greedy/even baselines, evaluator."""
+
+from .cost import PartitionCostModel
+from .evaluate import SimulatedPartitionEnergy, build_memory, simulate_partition
+from .greedy import EvenPartitioner, GreedyPartitioner
+from .optimal import OptimalPartitioner, PartitionResult
+from .spec import PartitionSpec
+
+__all__ = [
+    "PartitionSpec",
+    "PartitionCostModel",
+    "OptimalPartitioner",
+    "GreedyPartitioner",
+    "EvenPartitioner",
+    "PartitionResult",
+    "SimulatedPartitionEnergy",
+    "build_memory",
+    "simulate_partition",
+]

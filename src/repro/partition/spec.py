@@ -1,0 +1,91 @@
+"""Partition specifications.
+
+A partition divides a contiguous run of ``n`` memory blocks into ``k``
+contiguous segments; each segment becomes one physical bank.  The spec is
+algorithm-agnostic: the DP partitioner, the greedy partitioner, and the
+even-split baseline all produce :class:`PartitionSpec` objects, and the
+evaluator turns any spec into a :class:`~repro.memory.PartitionedMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PartitionSpec"]
+
+
+def _round_up_pow2(value: int) -> int:
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A division of ``sum(bank_blocks)`` contiguous blocks into banks.
+
+    Parameters
+    ----------
+    block_size:
+        Block granularity in bytes.
+    bank_blocks:
+        Number of blocks in each bank, in address order.  All entries must be
+        positive.
+    round_pow2:
+        When set, :meth:`bank_sizes` rounds each bank capacity up to a power
+        of two, matching what embedded SRAM generators actually emit.  The
+        address map still uses exact (unrounded) extents; rounding only
+        affects the energy of each access (bigger array = costlier access).
+    """
+
+    block_size: int
+    bank_blocks: tuple[int, ...]
+    round_pow2: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if not self.bank_blocks:
+            raise ValueError("at least one bank required")
+        if any(blocks <= 0 for blocks in self.bank_blocks):
+            raise ValueError("every bank must hold at least one block")
+
+    @property
+    def num_banks(self) -> int:
+        """Number of banks."""
+        return len(self.bank_blocks)
+
+    @property
+    def total_blocks(self) -> int:
+        """Total number of blocks covered."""
+        return sum(self.bank_blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes covered (unrounded)."""
+        return self.total_blocks * self.block_size
+
+    def bank_sizes(self) -> list[int]:
+        """Physical capacity of each bank in bytes (honours ``round_pow2``)."""
+        sizes = [blocks * self.block_size for blocks in self.bank_blocks]
+        if self.round_pow2:
+            sizes = [_round_up_pow2(size) for size in sizes]
+        return sizes
+
+    def boundaries(self) -> list[int]:
+        """Cumulative block boundaries: ``[0, b1, b1+b2, ..., n]``."""
+        edges = [0]
+        for blocks in self.bank_blocks:
+            edges.append(edges[-1] + blocks)
+        return edges
+
+    def bank_of_block(self, block_position: int) -> int:
+        """Index of the bank holding the block at ``block_position``."""
+        if not 0 <= block_position < self.total_blocks:
+            raise ValueError(f"block position {block_position} out of range")
+        cursor = 0
+        for bank_index, blocks in enumerate(self.bank_blocks):
+            cursor += blocks
+            if block_position < cursor:
+                return bank_index
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,13 @@
+"""Platform models: RISC and VLIW memory-subsystem energy pipelines."""
+
+from .breakdown import EnergyBreakdown
+from .system import Platform, PlatformConfig, PlatformReport, risc_platform, vliw_platform
+
+__all__ = [
+    "EnergyBreakdown",
+    "Platform",
+    "PlatformConfig",
+    "PlatformReport",
+    "risc_platform",
+    "vliw_platform",
+]

@@ -1,0 +1,20 @@
+"""Multi-context reconfigurable fabric: model, schedulers, workloads."""
+
+from .model import Application, DataSet, Kernel, ReconfigArchitecture, ScheduleEnergy
+from .scheduler import EnergyAwareScheduler, NaiveScheduler, Schedule, evaluate_schedule
+from .workloads import build_alternating_app, build_pipeline_app, random_app
+
+__all__ = [
+    "DataSet",
+    "Kernel",
+    "Application",
+    "ReconfigArchitecture",
+    "ScheduleEnergy",
+    "Schedule",
+    "NaiveScheduler",
+    "EnergyAwareScheduler",
+    "evaluate_schedule",
+    "build_pipeline_app",
+    "build_alternating_app",
+    "random_app",
+]

@@ -1,0 +1,136 @@
+"""Multi-context reconfigurable architecture model (paper 1B-4 substrate).
+
+The 1B-4 paper targets a MorphoSys-class fabric: an array of reconfigurable
+cells whose behaviour is selected by on-chip *contexts* (configuration
+planes), fed by two levels of on-chip data storage — small frame buffers
+(L0) next to the array and a larger on-chip memory (L1).  Kernels execute in
+sequence; each kernel needs its context loaded and its data sets accessible.
+
+This module models exactly the quantities the paper's scheduler optimizes:
+
+* per-access energy of each storage level (L0 ≪ L1);
+* transfer energy to stage a data set into L0;
+* context-load energy, paid whenever the required context is not already
+  resident (the context store holds ``context_slots`` planes, LRU-replaced).
+
+The fabric's compute energy is workload-invariant across schedules, so it is
+deliberately out of scope — schedules are compared on data + reconfiguration
+energy, the paper's own metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DataSet", "Kernel", "Application", "ReconfigArchitecture", "ScheduleEnergy"]
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """A kernel data object (array, frame, coefficient block).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier; data sets shared between kernels share the name.
+    size:
+        Bytes.
+    reads, writes:
+        Word accesses the owning kernel performs on this data set.
+    """
+
+    name: str
+    size: int
+    reads: int
+    writes: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"data set {self.name!r}: size must be positive")
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError(f"data set {self.name!r}: negative access counts")
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel invocation in the application sequence."""
+
+    name: str
+    context: int
+    data_sets: tuple[DataSet, ...]
+
+    def __post_init__(self) -> None:
+        if self.context < 0:
+            raise ValueError("context id must be non-negative")
+        names = [ds.name for ds in self.data_sets]
+        if len(names) != len(set(names)):
+            raise ValueError(f"kernel {self.name!r}: duplicate data set names")
+
+
+@dataclass(frozen=True)
+class Application:
+    """An ordered sequence of kernel invocations."""
+
+    name: str
+    kernels: tuple[Kernel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError("application must contain at least one kernel")
+
+    @property
+    def num_contexts(self) -> int:
+        """Number of distinct contexts used."""
+        return len({kernel.context for kernel in self.kernels})
+
+
+@dataclass(frozen=True)
+class ReconfigArchitecture:
+    """Energy parameters of the two-level storage + context machinery.
+
+    Defaults are scaled like a 0.18 µm MorphoSys-class design: L0 frame
+    buffers are register-file-cheap, L1 on-chip SRAM is several× costlier
+    per access, staging data into L0 costs per-byte transfer energy, and a
+    context load is an expensive burst from the context memory.
+    """
+
+    l0_size: int = 2048  # bytes per kernel's frame-buffer window
+    e_l0_access: float = 0.8  # pJ per word access in L0
+    e_l1_access: float = 5.0  # pJ per word access in L1
+    e_transfer_per_byte: float = 1.6  # pJ per byte staged L1 -> L0 (or back)
+    e_context_load: float = 4000.0  # pJ per context plane load
+    context_slots: int = 2  # resident context planes
+
+    def __post_init__(self) -> None:
+        if self.l0_size <= 0:
+            raise ValueError("l0_size must be positive")
+        if self.context_slots <= 0:
+            raise ValueError("context_slots must be positive")
+        if self.e_l0_access >= self.e_l1_access:
+            raise ValueError("L0 must be cheaper per access than L1")
+
+
+@dataclass
+class ScheduleEnergy:
+    """Energy breakdown of one scheduled application run."""
+
+    access_energy: float = 0.0
+    transfer_energy: float = 0.0
+    context_energy: float = 0.0
+    context_loads: int = 0
+    l0_hits: int = 0  # data-set placements served from L0
+
+    @property
+    def data_energy(self) -> float:
+        """Access + staging energy (the paper's 'data management' energy)."""
+        return self.access_energy + self.transfer_energy
+
+    @property
+    def total(self) -> float:
+        """Total energy (pJ)."""
+        return self.access_energy + self.transfer_energy + self.context_energy

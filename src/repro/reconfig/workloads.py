@@ -1,0 +1,119 @@
+"""Synthetic multimedia applications for the reconfigurable fabric (E4).
+
+The 1B-4 paper evaluates on multimedia/DSP pipelines (filters, transforms,
+quantizers) mapped to a multi-context fabric.  These builders generate
+applications with that structure: chains of kernels that pass frames to each
+other (producer/consumer data sets), reuse coefficient tables, and alternate
+between a handful of contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import Application, DataSet, Kernel
+
+__all__ = ["build_pipeline_app", "build_alternating_app", "random_app"]
+
+
+def build_pipeline_app(
+    stages: int = 6,
+    frame_bytes: int = 1024,
+    coeff_bytes: int = 256,
+    accesses_per_stage: int = 4000,
+    name: str = "pipeline",
+) -> Application:
+    """A linear media pipeline: stage *i* reads frame *i*, writes frame *i+1*.
+
+    Every stage also reads a private coefficient table (high reuse, small —
+    ideal L0 candidates).  Stages alternate between two contexts, the classic
+    filter/transform ping-pong.
+    """
+    kernels = []
+    for stage in range(stages):
+        kernels.append(
+            Kernel(
+                name=f"stage{stage}",
+                context=stage % 2,
+                data_sets=(
+                    DataSet(f"frame{stage}", frame_bytes, reads=accesses_per_stage, writes=0),
+                    DataSet(
+                        f"frame{stage + 1}",
+                        frame_bytes,
+                        reads=0,
+                        writes=accesses_per_stage,
+                    ),
+                    DataSet(f"coeff{stage}", coeff_bytes, reads=3 * accesses_per_stage, writes=0),
+                ),
+            )
+        )
+    return Application(name=name, kernels=tuple(kernels))
+
+
+def build_alternating_app(
+    rounds: int = 4,
+    contexts: int = 4,
+    frame_bytes: int = 512,
+    accesses: int = 3000,
+    name: str = "alternating",
+) -> Application:
+    """Kernels cycling through ``contexts`` contexts round-robin.
+
+    Without reordering, every kernel switch misses the context store; the
+    dependence structure (each context's kernels form an independent chain)
+    lets the grouping stage batch them — the reconfiguration-energy win the
+    paper reports.
+    """
+    kernels = []
+    for round_index in range(rounds):
+        for context in range(contexts):
+            kernels.append(
+                Kernel(
+                    name=f"r{round_index}c{context}",
+                    context=context,
+                    data_sets=(
+                        DataSet(
+                            f"state{context}",
+                            frame_bytes,
+                            reads=accesses,
+                            writes=accesses // 4,
+                        ),
+                        DataSet(f"lut{context}", 128, reads=2 * accesses, writes=0),
+                    ),
+                )
+            )
+    return Application(name=name, kernels=tuple(kernels))
+
+
+def random_app(
+    num_kernels: int = 12,
+    num_contexts: int = 3,
+    seed: int = 0,
+    name: str = "random",
+) -> Application:
+    """Randomized application for property tests (deterministic per seed)."""
+    rng = np.random.default_rng(seed)
+    kernels = []
+    for index in range(num_kernels):
+        num_sets = int(rng.integers(1, 4))
+        data_sets = tuple(
+            DataSet(
+                name=f"d{index}_{set_index}" if rng.random() < 0.7 else f"shared{int(rng.integers(0, 3))}",
+                size=int(rng.integers(1, 64)) * 32,
+                reads=int(rng.integers(0, 5000)),
+                writes=int(rng.integers(0, 1000)),
+            )
+            for set_index in range(num_sets)
+        )
+        # Deduplicate names (shared picks may collide within a kernel).
+        unique = {}
+        for ds in data_sets:
+            unique[ds.name] = ds
+        kernels.append(
+            Kernel(
+                name=f"k{index}",
+                context=int(rng.integers(0, num_contexts)),
+                data_sets=tuple(unique.values()),
+            )
+        )
+    return Application(name=name, kernels=tuple(kernels))

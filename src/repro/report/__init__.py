@@ -1,0 +1,15 @@
+"""Reporting: ASCII tables and paper-vs-measured records."""
+
+from .plots import bar_chart, histogram, sparkline
+from .record import PaperComparison, render_comparisons
+from .table import format_value, render_table
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "PaperComparison",
+    "render_comparisons",
+    "sparkline",
+    "bar_chart",
+    "histogram",
+]

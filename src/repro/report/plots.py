@@ -1,0 +1,75 @@
+"""Terminal-friendly plots: histograms, sparklines, bar charts.
+
+The CLI and examples need quick visual summaries without any plotting
+dependency; these helpers render with plain Unicode block characters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["sparkline", "bar_chart", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 40,
+    show_values: bool = True,
+) -> str:
+    """Horizontal bar chart, one labelled row per item."""
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    peak = max(value for _, value in pairs)
+    label_width = max(len(label) for label, _ in pairs)
+    lines = []
+    for label, value in pairs:
+        length = int(round(value / peak * width)) if peak > 0 else 0
+        bar = _BAR * max(length, 1 if value > 0 else 0)
+        suffix = f"  {value:,.1f}" if show_values else ""
+        lines.append(f"{label.ljust(label_width)}  {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Binned histogram of a numeric sample, rendered as a bar chart."""
+    values = list(values)
+    if not values:
+        return ""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    low, high = min(values), max(values)
+    if high == low:
+        return bar_chart({f"{low:g}": float(len(values))}, width=width)
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / span), bins - 1)
+        counts[index] += 1
+    labels = [f"[{low + i * span:.3g}, {low + (i + 1) * span:.3g})" for i in range(bins)]
+    return bar_chart(list(zip(labels, map(float, counts))), width=width)

@@ -1,0 +1,51 @@
+"""ASCII table rendering for benchmark harness output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly formatting of table cell values."""
+    if isinstance(value, float):
+        if abs(value) < 1 and value != 0:
+            return f"{value:.3f}"
+        return f"{value:,.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render a right-padded ASCII table.
+
+    Numbers are right-aligned, text left-aligned; a separator rule follows
+    the header.  Returns the table as a single string.
+    """
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def align(cell: str, index: int, original) -> str:
+        if isinstance(original, (int, float)):
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for original_row, row in zip(rows, text_rows):
+        lines.append(
+            "  ".join(align(cell, index, original_row[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)

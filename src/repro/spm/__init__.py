@@ -1,0 +1,12 @@
+"""Scratchpad memory: profile-driven allocation and SPM-augmented platform."""
+
+from .allocator import SPMAllocation, SPMAllocator, SPMConfig
+from .platform import SPMPlatform, SPMPlatformReport
+
+__all__ = [
+    "SPMConfig",
+    "SPMAllocation",
+    "SPMAllocator",
+    "SPMPlatform",
+    "SPMPlatformReport",
+]

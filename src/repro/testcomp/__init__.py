@@ -1,0 +1,21 @@
+"""Scan test-data compression with don't-care filling (extension EX7)."""
+
+from .compress import CompressionOutcome, compress_test_set, pack_test_set, unpack_test_set
+from .fill import FILL_STRATEGIES, one_fill, random_fill, repeat_fill, zero_fill
+from .vectors import TestPattern, TestSet, clustered_test_set, random_test_set
+
+__all__ = [
+    "TestPattern",
+    "TestSet",
+    "random_test_set",
+    "clustered_test_set",
+    "zero_fill",
+    "one_fill",
+    "repeat_fill",
+    "random_fill",
+    "FILL_STRATEGIES",
+    "pack_test_set",
+    "unpack_test_set",
+    "compress_test_set",
+    "CompressionOutcome",
+]

@@ -1,0 +1,103 @@
+"""Test-set compression measurement.
+
+Packs a filled test set into bytes (scan order, MSB-first within each byte)
+and compresses it with the package's LZW codec — the 2C technique.  The
+decompressed stream must both round-trip exactly and remain *compatible*
+with the original (unfilled) test set, i.e. preserve every specified bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compress.lzw import LZWCodec
+from .vectors import TestPattern, TestSet
+
+__all__ = ["pack_test_set", "unpack_test_set", "CompressionOutcome", "compress_test_set"]
+
+
+def pack_test_set(test_set: TestSet) -> bytes:
+    """Serialize a fully-specified test set to bytes (scan order)."""
+    bits = []
+    for pattern in test_set.patterns:
+        for bit in pattern.bits:
+            if bit not in (0, 1):
+                raise ValueError("pack_test_set requires a filled (X-free) test set")
+            bits.append(bit)
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        chunk = bits[start : start + 8]
+        chunk += [0] * (8 - len(chunk))
+        byte = 0
+        for bit in chunk:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def unpack_test_set(payload: bytes, num_patterns: int, num_cells: int) -> TestSet:
+    """Inverse of :func:`pack_test_set`."""
+    needed = num_patterns * num_cells
+    bits = []
+    for byte in payload:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+            if len(bits) == needed:
+                break
+        if len(bits) == needed:
+            break
+    if len(bits) < needed:
+        raise ValueError("payload too short for the requested geometry")
+    patterns = []
+    for index in range(num_patterns):
+        start = index * num_cells
+        patterns.append(TestPattern(tuple(bits[start : start + num_cells])))
+    return TestSet(tuple(patterns))
+
+
+@dataclass(frozen=True)
+class CompressionOutcome:
+    """Result of compressing one filled test set."""
+
+    strategy: str
+    raw_bits: int
+    compressed_bits: int
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/raw (lower is better)."""
+        return self.compressed_bits / self.raw_bits if self.raw_bits else 1.0
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of tester memory saved."""
+        return 1.0 - self.ratio
+
+
+def compress_test_set(
+    filled: TestSet,
+    strategy_name: str = "unknown",
+    max_width: int = 14,
+    verify_against: TestSet | None = None,
+) -> CompressionOutcome:
+    """Pack + LZW-compress a filled test set.
+
+    With ``verify_against``, the compressed stream is decompressed, unpacked,
+    and checked bit-for-bit compatible with the original (unfilled) set —
+    i.e. the flow is provably coverage-preserving.
+    """
+    payload = pack_test_set(filled)
+    codec = LZWCodec(max_width=max_width)
+    line = codec.compress(payload)
+    if verify_against is not None:
+        recovered = unpack_test_set(
+            codec.decompress(line), filled.num_patterns, filled.num_cells
+        )
+        for original, concrete in zip(verify_against.patterns, recovered.patterns):
+            if not original.compatible_with(concrete):
+                raise AssertionError("decompressed test set violates specified bits")
+    return CompressionOutcome(
+        strategy=strategy_name,
+        raw_bits=filled.total_bits,
+        compressed_bits=line.bit_length,
+    )

@@ -1,0 +1,83 @@
+"""Don't-care filling strategies.
+
+The compressor may assign X bits *any* value without losing fault coverage;
+the 2C insight is that the assignment controls the compressibility of the
+resulting stream.  Strategies:
+
+* :func:`zero_fill` — all X → 0 (long zero runs, friendly to most codecs);
+* :func:`one_fill` — all X → 1;
+* :func:`repeat_fill` — each X copies the previous concrete bit (minimum
+  transition count within the pattern, the classic MT-fill);
+* :func:`random_fill` — X → random (the pessimistic control: discards all
+  the freedom).
+
+Every strategy provably preserves the specified bits (property-tested via
+:meth:`TestPattern.compatible_with`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vectors import DONT_CARE, TestPattern, TestSet
+
+__all__ = ["zero_fill", "one_fill", "repeat_fill", "random_fill", "FILL_STRATEGIES"]
+
+
+def _fill_constant(test_set: TestSet, value: int) -> TestSet:
+    patterns = []
+    for pattern in test_set.patterns:
+        bits = tuple(value if bit == DONT_CARE else bit for bit in pattern.bits)
+        patterns.append(TestPattern(bits))
+    return TestSet(tuple(patterns))
+
+
+def zero_fill(test_set: TestSet) -> TestSet:
+    """Every don't-care becomes 0."""
+    return _fill_constant(test_set, 0)
+
+
+def one_fill(test_set: TestSet) -> TestSet:
+    """Every don't-care becomes 1."""
+    return _fill_constant(test_set, 1)
+
+
+def repeat_fill(test_set: TestSet) -> TestSet:
+    """Every don't-care copies the previous concrete bit (MT-fill).
+
+    The first bits of a pattern, if unspecified, copy the *last* bit of the
+    previous pattern (scan chains are shifted back-to-back); the very first
+    unspecified prefix fills with 0.
+    """
+    patterns = []
+    last = 0
+    for pattern in test_set.patterns:
+        bits = []
+        for bit in pattern.bits:
+            if bit == DONT_CARE:
+                bits.append(last)
+            else:
+                bits.append(bit)
+                last = bit
+        patterns.append(TestPattern(tuple(bits)))
+    return TestSet(tuple(patterns))
+
+
+def random_fill(test_set: TestSet, seed: int = 0) -> TestSet:
+    """Every don't-care becomes a random bit — the control strategy."""
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for pattern in test_set.patterns:
+        bits = tuple(
+            int(rng.integers(0, 2)) if bit == DONT_CARE else bit for bit in pattern.bits
+        )
+        patterns.append(TestPattern(bits))
+    return TestSet(tuple(patterns))
+
+
+FILL_STRATEGIES = {
+    "zero": zero_fill,
+    "one": one_fill,
+    "repeat": repeat_fill,
+    "random": random_fill,
+}

@@ -1,0 +1,147 @@
+"""Scan test vectors with don't-care bits.
+
+Session 2C of the same proceedings ("A Technique for High Ratio LZW
+Compression", Knieser et al.) compresses scan test patterns and leverages
+the *large number of don't-cares* in ATPG output to improve the ratio.
+This module provides the substrate: test sets over scan cells where each
+bit is 0, 1, or X (don't-care), plus generators with realistic structure
+(care bits cluster around the faults a pattern targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TestPattern", "TestSet", "random_test_set", "clustered_test_set"]
+
+ZERO, ONE, DONT_CARE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """One scan pattern: a vector over {0, 1, X}."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    bits: tuple
+
+    def __post_init__(self) -> None:
+        if any(bit not in (ZERO, ONE, DONT_CARE) for bit in self.bits):
+            raise ValueError("pattern bits must be 0, 1, or 2 (don't-care)")
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    @property
+    def care_bits(self) -> int:
+        """Number of specified (non-X) bits."""
+        return sum(1 for bit in self.bits if bit != DONT_CARE)
+
+    @property
+    def care_density(self) -> float:
+        """Fraction of specified bits."""
+        return self.care_bits / len(self.bits) if self.bits else 0.0
+
+    def compatible_with(self, filled: "TestPattern") -> bool:
+        """Whether ``filled`` preserves every specified bit of this pattern."""
+        if len(filled) != len(self):
+            return False
+        return all(
+            original == DONT_CARE or original == concrete
+            for original, concrete in zip(self.bits, filled.bits)
+        )
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """An ordered collection of equal-length test patterns."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    patterns: tuple
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("test set must hold at least one pattern")
+        width = len(self.patterns[0])
+        if any(len(pattern) != width for pattern in self.patterns):
+            raise ValueError("all patterns must have equal length")
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of patterns."""
+        return len(self.patterns)
+
+    @property
+    def num_cells(self) -> int:
+        """Scan-chain length (bits per pattern)."""
+        return len(self.patterns[0])
+
+    @property
+    def total_bits(self) -> int:
+        """Raw (unfilled) test-set size in bits."""
+        return self.num_patterns * self.num_cells
+
+    @property
+    def mean_care_density(self) -> float:
+        """Mean fraction of specified bits across patterns."""
+        return float(np.mean([pattern.care_density for pattern in self.patterns]))
+
+
+def random_test_set(
+    num_patterns: int = 64,
+    num_cells: int = 512,
+    care_density: float = 0.1,
+    seed: int = 0,
+) -> TestSet:
+    """Uniformly scattered care bits (the pessimistic structure)."""
+    if not 0.0 <= care_density <= 1.0:
+        raise ValueError("care_density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for _ in range(num_patterns):
+        cares = rng.random(num_cells) < care_density
+        values = rng.integers(0, 2, num_cells)
+        bits = tuple(
+            int(values[i]) if cares[i] else DONT_CARE for i in range(num_cells)
+        )
+        patterns.append(TestPattern(bits))
+    return TestSet(tuple(patterns))
+
+
+def clustered_test_set(
+    num_patterns: int = 64,
+    num_cells: int = 512,
+    care_density: float = 0.1,
+    cluster_span: int = 24,
+    seed: int = 0,
+) -> TestSet:
+    """Care bits clustered in a few spans per pattern (realistic ATPG shape).
+
+    A pattern targets a handful of faults; the cells feeding each fault's
+    cone sit near each other in the scan order, so specified bits arrive in
+    clumps rather than uniformly.
+    """
+    if not 0.0 <= care_density <= 1.0:
+        raise ValueError("care_density must be in [0, 1]")
+    if cluster_span <= 0:
+        raise ValueError("cluster_span must be positive")
+    rng = np.random.default_rng(seed)
+    target_cares = int(care_density * num_cells)
+    patterns = []
+    for _ in range(num_patterns):
+        bits = [DONT_CARE] * num_cells
+        placed = 0
+        while placed < target_cares:
+            start = int(rng.integers(0, max(1, num_cells - cluster_span)))
+            for offset in range(min(cluster_span, target_cares - placed)):
+                position = start + offset
+                if position >= num_cells:
+                    break
+                if bits[position] == DONT_CARE:
+                    bits[position] = int(rng.integers(0, 2))
+                    placed += 1
+        patterns.append(TestPattern(tuple(bits)))
+    return TestSet(tuple(patterns))

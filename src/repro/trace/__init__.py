@@ -1,0 +1,55 @@
+"""Trace infrastructure: events, containers, profiles, generators, file I/O."""
+
+from .events import AccessKind, AddressSpace, MemoryAccess
+from .io import load_npz, load_text, save_npz, save_text
+from .phases import Phase, PhaseDetector, PhaseSegmentation
+from .profile import AccessProfile, BlockStats, reuse_distances
+from .sampling import IntervalSampler, SystematicSampler, count_error, scale_counts
+from .stats import (
+    address_entropy,
+    dominant_stride,
+    region_stickiness,
+    region_transition_matrix,
+    stride_histogram,
+)
+from .synthetic import (
+    HotColdGenerator,
+    ScatteredHotGenerator,
+    LoopNestGenerator,
+    MarkovRegionGenerator,
+    StridedSweepGenerator,
+    ValueTraceGenerator,
+)
+from .trace import Trace
+
+__all__ = [
+    "AccessKind",
+    "AddressSpace",
+    "MemoryAccess",
+    "Trace",
+    "AccessProfile",
+    "BlockStats",
+    "reuse_distances",
+    "Phase",
+    "PhaseDetector",
+    "PhaseSegmentation",
+    "SystematicSampler",
+    "IntervalSampler",
+    "scale_counts",
+    "count_error",
+    "stride_histogram",
+    "dominant_stride",
+    "address_entropy",
+    "region_transition_matrix",
+    "region_stickiness",
+    "StridedSweepGenerator",
+    "HotColdGenerator",
+    "LoopNestGenerator",
+    "MarkovRegionGenerator",
+    "ScatteredHotGenerator",
+    "ValueTraceGenerator",
+    "save_text",
+    "load_text",
+    "save_npz",
+    "load_npz",
+]

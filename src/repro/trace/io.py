@@ -1,0 +1,124 @@
+"""Trace file input/output.
+
+Two formats are supported:
+
+* a human-readable text format (``.trc``), one event per line:
+  ``<time> <kind> <space> <address-hex> <size> [value-hex]`` — convenient for
+  small fixtures and for eyeballing simulator output;
+* a compact NumPy ``.npz`` format for large traces.
+
+Both round-trip losslessly through :class:`~repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .events import AccessKind, AddressSpace, MemoryAccess
+from .trace import Trace
+
+__all__ = ["save_text", "load_text", "save_npz", "load_npz"]
+
+_NO_VALUE = -1  # sentinel for "event carries no payload" in the npz format
+
+
+def save_text(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the text format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(f"# trace {trace.name}\n")
+        for event in trace:
+            line = (
+                f"{event.time} {event.kind.value} {event.space.value} "
+                f"{event.address:#x} {event.size}"
+            )
+            if event.value is not None:
+                line += f" {event.value:#x}"
+            handle.write(line + "\n")
+
+
+def load_text(path: str | Path) -> Trace:
+    """Read a text-format trace from ``path``."""
+    path = Path(path)
+    events = []
+    name = path.stem
+    with path.open() as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace "):
+                    name = line[len("# trace ") :].strip()
+                continue
+            fields = line.split()
+            if len(fields) not in (5, 6):
+                raise ValueError(f"malformed trace line: {line!r}")
+            time, kind, space, address, size = fields[:5]
+            value = int(fields[5], 16) if len(fields) == 6 else None
+            events.append(
+                MemoryAccess(
+                    time=int(time),
+                    address=int(address, 16),
+                    size=int(size),
+                    kind=AccessKind.from_str(kind),
+                    space=AddressSpace.from_str(space),
+                    value=value,
+                )
+            )
+    return Trace(events, name=name)
+
+
+def save_npz(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as a compressed NumPy archive."""
+    n = len(trace)
+    times = np.empty(n, dtype=np.int64)
+    addresses = np.empty(n, dtype=np.int64)
+    sizes = np.empty(n, dtype=np.int32)
+    kinds = np.empty(n, dtype=np.uint8)
+    spaces = np.empty(n, dtype=np.uint8)
+    values = np.empty(n, dtype=np.int64)
+    for index, event in enumerate(trace):
+        times[index] = event.time
+        addresses[index] = event.address
+        sizes[index] = event.size
+        kinds[index] = 1 if event.is_write else 0
+        spaces[index] = 1 if event.space is AddressSpace.INSTRUCTION else 0
+        values[index] = event.value if event.value is not None else _NO_VALUE
+    np.savez_compressed(
+        Path(path),
+        times=times,
+        addresses=addresses,
+        sizes=sizes,
+        kinds=kinds,
+        spaces=spaces,
+        values=values,
+        name=np.array(trace.name),
+    )
+
+
+def load_npz(path: str | Path) -> Trace:
+    """Read an npz-format trace from ``path``."""
+    with np.load(Path(path)) as data:
+        events = [
+            MemoryAccess(
+                time=int(time),
+                address=int(address),
+                size=int(size),
+                kind=AccessKind.WRITE if kind else AccessKind.READ,
+                space=AddressSpace.INSTRUCTION if space else AddressSpace.DATA,
+                value=int(value) if value != _NO_VALUE else None,
+            )
+            for time, address, size, kind, space, value in zip(
+                data["times"],
+                data["addresses"],
+                data["sizes"],
+                data["kinds"],
+                data["spaces"],
+                data["values"],
+            )
+        ]
+        name = str(data["name"])
+    return Trace(events, name=name)

@@ -1,0 +1,113 @@
+"""Trace statistics: stride structure, entropy, region transitions.
+
+Complements :mod:`repro.trace.profile` (which aggregates per block) with
+*stream-structure* metrics that the profile deliberately ignores:
+
+* :func:`stride_histogram` / :func:`dominant_stride` — the access-delta
+  distribution; a dominant +4 stride is what makes T0 encoding and
+  sequential prefetching work;
+* :func:`address_entropy` — Shannon entropy of the block stream in bits, a
+  one-number summary of how concentrated the working set is (the quantity
+  hot/cold partitioning exploits);
+* :func:`region_transition_matrix` — Markov transition counts between
+  address regions, the structure the phase detector discovers at a coarser
+  timescale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from .trace import Trace
+
+__all__ = [
+    "stride_histogram",
+    "dominant_stride",
+    "address_entropy",
+    "region_transition_matrix",
+    "region_stickiness",
+]
+
+
+def stride_histogram(trace: Trace, top: int | None = None) -> list[tuple[int, int]]:
+    """Histogram of consecutive address deltas, most frequent first.
+
+    Returns ``(stride, count)`` pairs; ``top`` truncates the list.
+    """
+    counts: Counter = Counter()
+    previous = None
+    for event in trace:
+        if previous is not None:
+            counts[event.address - previous] += 1
+        previous = event.address
+    ranked = counts.most_common(top)
+    return [(stride, count) for stride, count in ranked]
+
+
+def dominant_stride(trace: Trace) -> tuple[int, float]:
+    """The most frequent stride and its share of all transitions.
+
+    Returns ``(0, 0.0)`` for traces with fewer than two events.
+    """
+    histogram = stride_histogram(trace, top=1)
+    if not histogram:
+        return (0, 0.0)
+    stride, count = histogram[0]
+    total = len(trace) - 1
+    return stride, count / total
+
+
+def address_entropy(trace: Trace, block_size: int = 32) -> float:
+    """Shannon entropy (bits) of the block-access distribution.
+
+    0 bits = one block absorbs everything; ``log2(n)`` bits = accesses
+    spread uniformly over ``n`` blocks.  Lower entropy means a smaller hot
+    bank captures more traffic.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    counts: Counter = Counter(event.block(block_size) for event in trace)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def region_transition_matrix(
+    trace: Trace, region_size: int = 4096
+) -> dict[tuple[int, int], int]:
+    """Markov transition counts between address regions.
+
+    Key ``(from_region, to_region)`` → number of consecutive access pairs
+    that moved between those regions (self-transitions included).
+    """
+    if region_size <= 0:
+        raise ValueError("region_size must be positive")
+    matrix: dict[tuple[int, int], int] = {}
+    previous = None
+    for event in trace:
+        region = event.address // region_size
+        if previous is not None:
+            key = (previous, region)
+            matrix[key] = matrix.get(key, 0) + 1
+        previous = region
+    return matrix
+
+
+def region_stickiness(trace: Trace, region_size: int = 4096) -> float:
+    """Fraction of consecutive accesses that stay in the same region.
+
+    High stickiness (→1.0) means long region sojourns — the structure that
+    makes bank sleep and phase adaptation profitable.
+    """
+    matrix = region_transition_matrix(trace, region_size)
+    total = sum(matrix.values())
+    if total == 0:
+        return 1.0
+    same = sum(count for (a, b), count in matrix.items() if a == b)
+    return same / total

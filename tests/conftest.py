@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Kernel executions are session-scoped: the ISS is deterministic, so every
+test that needs a kernel trace can share one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import CPU, load_kernel
+
+
+@pytest.fixture(scope="session")
+def kernel_runs():
+    """Lazily-populated cache of kernel execution results, keyed by name."""
+    cache = {}
+
+    def run(name: str):
+        if name not in cache:
+            cache[name] = CPU().run(load_kernel(name))
+        return cache[name]
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def saxpy_run(kernel_runs):
+    """Execution result of the saxpy kernel."""
+    return kernel_runs("saxpy")
+
+
+@pytest.fixture(scope="session")
+def matmul_run(kernel_runs):
+    """Execution result of the matmul kernel."""
+    return kernel_runs("matmul")

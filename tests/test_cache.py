@@ -1,0 +1,183 @@
+"""Unit tests for the set-associative cache simulator."""
+
+import pytest
+
+from repro.cache import (
+    Cache,
+    CacheConfig,
+    LineTransfer,
+    ReplacementPolicy,
+    WritePolicy,
+)
+
+
+def make_cache(**kwargs):
+    defaults = dict(size=256, line_size=32, ways=2)
+    defaults.update(kwargs)
+    return Cache(CacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(size=8192, line_size=32, ways=4)
+        assert config.num_sets == 64
+        assert config.num_lines == 256
+
+    @pytest.mark.parametrize("field,value", [("size", 100), ("line_size", 3), ("ways", 5)])
+    def test_rejects_non_power_of_two(self, field, value):
+        kwargs = dict(size=256, line_size=32, ways=2)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+    def test_rejects_line_bigger_than_cache(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=32, line_size=64, ways=1)
+
+    def test_rejects_impossible_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=64, line_size=32, ways=4)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        first = cache.access(0x100)
+        second = cache.access(0x104)  # same line
+        assert not first.hit and second.hit
+        assert first.refill is not None
+        assert first.refill.line_address == 0x100
+
+    def test_line_address_alignment(self):
+        cache = make_cache(line_size=32)
+        result = cache.access(0x12B)
+        assert result.refill.line_address == 0x120
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            make_cache().access(-4)
+
+    def test_stats(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0x1000)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestWriteBack:
+    def test_dirty_eviction_produces_writeback(self):
+        # Direct-mapped, 2 lines: addresses 0 and 64 conflict (size 64, line 32).
+        cache = Cache(CacheConfig(size=64, line_size=32, ways=1))
+        cache.access(0, is_write=True)  # fill set 0, dirty
+        result = cache.access(64, is_write=False)  # evicts line 0
+        assert result.writeback is not None
+        assert result.writeback.line_address == 0
+        assert result.writeback.size == 32
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = Cache(CacheConfig(size=64, line_size=32, ways=1))
+        cache.access(0, is_write=False)
+        result = cache.access(64)
+        assert result.writeback is None
+
+    def test_flush_writes_back_all_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0x00, is_write=True)
+        cache.access(0x40, is_write=True)
+        cache.access(0x80, is_write=False)
+        transfers = cache.flush()
+        addresses = sorted(t.line_address for t in transfers)
+        assert addresses == [0x00, 0x40]
+        assert all(t.is_writeback for t in transfers)
+
+    def test_flush_invalidates(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0).hit
+
+
+class TestWriteThrough:
+    def test_write_hit_still_goes_to_memory(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0, is_write=False)  # bring line in
+        result = cache.access(0, is_write=True)
+        assert result.hit
+        assert result.writeback is not None
+
+    def test_write_miss_does_not_allocate(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        result = cache.access(0, is_write=True)
+        assert not result.hit
+        assert result.refill is None
+        # Still not resident.
+        assert not cache.access(0, is_write=False).hit
+
+    def test_flush_finds_nothing_dirty(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=True)
+        assert cache.flush() == []
+
+
+class TestReplacement:
+    def test_lru_keeps_recently_used(self):
+        # 2-way set: lines 0, 64, 128 map to set 0 (size 128, line 32, ways 2 -> 2 sets)
+        cache = Cache(CacheConfig(size=128, line_size=32, ways=2))
+        cache.access(0x00)
+        cache.access(0x80)  # same set (set 0): 0x80/32=4, 4 % 2 = 0
+        cache.access(0x00)  # touch 0 again -> 0x80 is LRU
+        cache.access(0x100)  # evicts 0x80
+        assert cache.access(0x00).hit
+        assert not cache.access(0x80).hit
+
+    def test_fifo_evicts_oldest_fill(self):
+        cache = Cache(
+            CacheConfig(size=128, line_size=32, ways=2, replacement=ReplacementPolicy.FIFO)
+        )
+        cache.access(0x00)
+        cache.access(0x80)
+        cache.access(0x00)  # touching does not refresh FIFO stamp
+        cache.access(0x100)  # evicts 0x00 (oldest fill)
+        assert not cache.access(0x00).hit
+
+    def test_random_is_deterministic_per_seed(self):
+        def run(seed):
+            cache = Cache(
+                CacheConfig(
+                    size=128, line_size=32, ways=2, replacement=ReplacementPolicy.RANDOM, seed=seed
+                )
+            )
+            hits = 0
+            for address in [0, 0x80, 0x100, 0, 0x80, 0x100] * 10:
+                hits += cache.access(address).hit
+            return hits
+
+        assert run(1) == run(1)
+
+
+class TestEnergy:
+    def test_lookup_energy_accumulates(self):
+        cache = make_cache()
+        assert cache.lookup_energy_total == 0.0
+        cache.access(0)
+        assert cache.lookup_energy_total == pytest.approx(cache.access_energy())
+
+    def test_bigger_cache_costlier_lookup(self):
+        small = make_cache(size=256)
+        large = make_cache(size=8192)
+        assert large.access_energy() > small.access_energy()
+
+
+class TestReset:
+    def test_reset_clears_state_and_stats(self):
+        cache = make_cache()
+        cache.access(0, is_write=True)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(0).hit
+        assert cache.flush() == []  # nothing dirty survives reset

@@ -1,0 +1,264 @@
+"""Tests for the gate-level circuit substrate: netlists, faults, LFSR."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    LFSR,
+    CoverageResult,
+    FaultSimulator,
+    Gate,
+    GateType,
+    Netlist,
+    StuckAtFault,
+    and_tree,
+    c17,
+    enumerate_faults,
+    lfsr_patterns,
+    random_netlist,
+    weighted_patterns,
+    xor_chain,
+)
+
+
+def exhaustive_patterns(netlist):
+    return [
+        dict(zip(netlist.inputs, bits))
+        for bits in itertools.product((0, 1), repeat=len(netlist.inputs))
+    ]
+
+
+class TestNetlist:
+    def test_gate_arity_validation(self):
+        with pytest.raises(ValueError):
+            Gate(GateType.NOT, "y", ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate(GateType.AND, "y", ("a",))
+
+    def test_double_driver_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(
+                ["a", "b"],
+                ["y"],
+                [Gate(GateType.AND, "y", ("a", "b")), Gate(GateType.OR, "y", ("a", "b"))],
+            )
+
+    def test_undriven_net_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(["a"], ["y"], [Gate(GateType.NOT, "y", ("ghost",))])
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist(
+                ["a"],
+                ["x"],
+                [
+                    Gate(GateType.AND, "x", ("a", "y")),
+                    Gate(GateType.AND, "y", ("a", "x")),
+                ],
+            )
+
+    @pytest.mark.parametrize(
+        "gate_type,table",
+        [
+            (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_gate_truth_tables(self, gate_type, table):
+        netlist = Netlist(["a", "b"], ["y"], [Gate(gate_type, "y", ("a", "b"))])
+        for (a, b), expected in table.items():
+            values = netlist.evaluate({"a": a, "b": b}, width=1)
+            assert values["y"] == expected, (gate_type, a, b)
+
+    def test_bit_parallel_matches_scalar(self):
+        netlist = random_netlist(num_inputs=6, num_gates=30, seed=2)
+        patterns = exhaustive_patterns(netlist)
+        packed = {net: 0 for net in netlist.inputs}
+        for index, pattern in enumerate(patterns):
+            for net in netlist.inputs:
+                packed[net] |= pattern[net] << index
+        wide = netlist.output_response(packed, len(patterns))
+        for index, pattern in enumerate(patterns):
+            narrow = netlist.output_response(pattern, 1)
+            for net in netlist.outputs:
+                assert (wide[net] >> index) & 1 == narrow[net]
+
+    def test_fault_injection_forces_net(self):
+        netlist = Netlist(["a", "b"], ["y"], [Gate(GateType.AND, "y", ("a", "b"))])
+        values = netlist.evaluate({"a": 1, "b": 1}, width=1, fault=("y", 0))
+        assert values["y"] == 0
+        values = netlist.evaluate({"a": 0, "b": 0}, width=1, fault=("a", 1))
+        assert values["y"] == 0  # b still 0
+
+
+class TestBuilders:
+    def test_and_tree_semantics(self):
+        tree = and_tree(8)
+        all_ones = {net: 1 for net in tree.inputs}
+        assert tree.output_response(all_ones, 1)["out"] == 1
+        one_zero = dict(all_ones)
+        one_zero["i3"] = 0
+        assert tree.output_response(one_zero, 1)["out"] == 0
+
+    def test_and_tree_width_validation(self):
+        with pytest.raises(ValueError):
+            and_tree(6)
+
+    def test_xor_chain_is_parity(self):
+        chain = xor_chain(8)
+        for pattern in exhaustive_patterns(chain)[:64]:
+            expected = sum(pattern.values()) & 1
+            assert chain.output_response(pattern, 1)["out"] == expected
+
+    def test_c17_exhaustive_coverage_is_full(self):
+        netlist = c17()
+        simulator = FaultSimulator(netlist)
+        result = simulator.simulate(exhaustive_patterns(netlist))
+        assert result.coverage == 1.0
+
+    def test_random_netlist_deterministic(self):
+        a = random_netlist(seed=4)
+        b = random_netlist(seed=4)
+        assert [g.output for g in a.gates] == [g.output for g in b.gates]
+        assert [g.gate_type for g in a.gates] == [g.gate_type for g in b.gates]
+
+
+class TestFaultSimulation:
+    def test_fault_list_covers_all_nets(self):
+        netlist = c17()
+        faults = enumerate_faults(netlist)
+        assert len(faults) == 2 * len(netlist.nets)
+
+    def test_stuck_value_validated(self):
+        with pytest.raises(ValueError):
+            StuckAtFault("x", 2)
+
+    def test_xor_chain_is_fully_testable_by_few_patterns(self):
+        chain = xor_chain(8)
+        simulator = FaultSimulator(chain)
+        patterns = lfsr_patterns(chain.inputs, 16, seed=5)
+        result = simulator.simulate(patterns)
+        assert result.coverage == 1.0
+
+    def test_coverage_monotone_in_patterns(self):
+        netlist = random_netlist(num_inputs=10, num_gates=50, seed=6)
+        simulator = FaultSimulator(netlist)
+        patterns = lfsr_patterns(netlist.inputs, 256, seed=7)
+        curve = simulator.coverage_curve(patterns, [16, 64, 256])
+        coverages = [coverage for _count, coverage in curve]
+        assert coverages == sorted(coverages)
+
+    def test_empty_pattern_set(self):
+        simulator = FaultSimulator(c17())
+        result = simulator.simulate([])
+        assert result.coverage == 0.0
+
+    def test_and_tree_is_random_pattern_resistant(self):
+        tree = and_tree(16)
+        simulator = FaultSimulator(tree)
+        uniform = simulator.simulate(lfsr_patterns(tree.inputs, 256, seed=8))
+        weighted = simulator.simulate(weighted_patterns(tree.inputs, 256, 0.9, seed=8))
+        assert weighted.coverage > 2 * uniform.coverage
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("width,period", [(8, 255), (16, 65535)])
+    def test_maximal_period(self, width, period):
+        assert LFSR(width, seed=1).period_check() == period
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(16, seed=0)
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(12)
+        LFSR(12, taps=(12, 11, 10, 4))  # explicit taps accepted
+
+    def test_next_word(self):
+        a = LFSR(16, seed=123)
+        b = LFSR(16, seed=123)
+        word = a.next_word(8)
+        bits = [b.step() for _ in range(8)]
+        assert word == sum(bit << index for index, bit in enumerate(bits))
+
+    def test_deterministic_patterns(self):
+        p1 = lfsr_patterns(["a", "b"], 10, seed=9)
+        p2 = lfsr_patterns(["a", "b"], 10, seed=9)
+        assert p1 == p2
+
+    def test_weighted_patterns_statistics(self):
+        patterns = weighted_patterns(["a"], 2000, weight=0.8, seed=10)
+        ones = sum(pattern["a"] for pattern in patterns)
+        assert 0.75 < ones / 2000 < 0.85
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            weighted_patterns(["a"], 10, weight=1.5)
+
+
+class TestTwoTower:
+    def test_structure(self):
+        from repro.circuit import two_tower
+
+        netlist = two_tower(16)
+        assert len(netlist.inputs) == 16
+        assert len(netlist.outputs) == 3
+
+    def test_tower_semantics(self):
+        from repro.circuit import two_tower
+
+        netlist = two_tower(8)
+        tower_a, tower_b, parity = netlist.outputs
+        pattern = {net: 1 for net in netlist.inputs}
+        response = netlist.output_response(pattern, 1)
+        assert response[tower_a] == 1 and response[tower_b] == 1
+        assert response[parity] == 0  # even number of ones
+        pattern["i0"] = 0
+        response = netlist.output_response(pattern, 1)
+        assert response[tower_a] == 0 and response[tower_b] == 1
+        assert response[parity] == 1
+
+    def test_width_validation(self):
+        from repro.circuit import two_tower
+
+        with pytest.raises(ValueError):
+            two_tower(6)
+
+    def test_fully_testable(self):
+        from repro.circuit import FaultSimulator, two_tower, weighted_patterns
+
+        netlist = two_tower(8)
+        simulator = FaultSimulator(netlist)
+        # Mix of weights covers towers and parity cone.
+        patterns = (
+            weighted_patterns(netlist.inputs, 200, 0.9, seed=1)
+            + weighted_patterns(netlist.inputs, 200, 0.5, seed=2)
+            + weighted_patterns(netlist.inputs, 200, 0.1, seed=3)
+        )
+        assert simulator.simulate(patterns).coverage == 1.0
+
+    def test_tower_faults_relax_with_half_dont_cares(self):
+        import numpy as np
+
+        from repro.circuit import StuckAtFault, find_test, identify_dont_cares, two_tower
+
+        netlist = two_tower(16)
+        rng = np.random.default_rng(4)
+        # A fault deep in tower A constrains only the first input half.
+        fault = StuckAtFault(netlist.outputs[0], 0)
+        pattern = find_test(netlist, fault, rng, max_tries=2000)
+        assert pattern is not None
+        relaxed = identify_dont_cares(netlist, pattern, [fault])
+        # Detection happens at the tower-A output, which needs every
+        # first-half input at 1 and nothing from the second half: relaxation
+        # must specify exactly the first half and free the rest.
+        assert relaxed.bits[:8] == (1,) * 8
+        assert all(bit == 2 for bit in relaxed.bits[8:])  # 2 == DONT_CARE
+        assert relaxed.care_density == pytest.approx(0.5)

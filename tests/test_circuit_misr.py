@@ -1,0 +1,84 @@
+"""Tests for MISR response compaction."""
+
+import pytest
+
+from repro.circuit import (
+    MISR,
+    c17,
+    lfsr_patterns,
+    random_netlist,
+    signature_coverage,
+    xor_chain,
+)
+
+
+class TestMISR:
+    def test_deterministic(self):
+        a, b = MISR(16), MISR(16)
+        stream = [0x1234, 0x0, 0xFFFF, 0x8001]
+        assert a.absorb_responses(stream) == b.absorb_responses(stream)
+
+    def test_sensitive_to_any_single_bit_flip(self):
+        misr = MISR(16)
+        stream = [0x1234, 0x5678, 0x9ABC]
+        golden = misr.absorb_responses(stream)
+        for index in range(len(stream)):
+            for bit in range(16):
+                corrupted = list(stream)
+                corrupted[index] ^= 1 << bit
+                assert misr.absorb_responses(corrupted) != golden, (index, bit)
+
+    def test_order_sensitive(self):
+        misr = MISR(16)
+        assert misr.absorb_responses([1, 2]) != misr.absorb_responses([2, 1])
+
+    def test_folding_sees_wide_outputs(self):
+        # A difference only above the register width must still change the
+        # signature (space compaction, not truncation).
+        misr = MISR(8, taps=(8, 6, 5, 4))
+        a = misr.absorb_responses([0x000])
+        b = misr.absorb_responses([0x100])  # bit 8, beyond an 8-bit register
+        assert a != b
+
+    def test_reset(self):
+        misr = MISR(16)
+        misr.clock(0xABCD)
+        misr.reset()
+        assert misr.signature == 0
+
+    def test_unknown_width_requires_taps(self):
+        with pytest.raises(ValueError):
+            MISR(12)
+        MISR(12, taps=(12, 11, 10, 4))
+
+
+class TestSignatureCoverage:
+    def test_wide_misr_loses_nothing_on_c17(self):
+        netlist = c17()
+        patterns = lfsr_patterns(netlist.inputs, 64, seed=3)
+        result = signature_coverage(netlist, patterns, MISR(16))
+        assert result.aliased == 0
+        assert result.detected_by_signature == result.detected_by_response
+        assert result.signature_coverage == 1.0
+
+    def test_aliasing_rate_near_theory_for_narrow_misr(self):
+        netlist = random_netlist(num_inputs=10, num_gates=60, seed=2)
+        patterns = lfsr_patterns(netlist.inputs, 128, seed=4)
+        result = signature_coverage(netlist, patterns, MISR(8, taps=(8, 6, 5, 4)))
+        # Theory: ~2^-8 per detected fault; allow generous slack.
+        assert result.aliasing_rate < 0.05
+
+    def test_wider_misr_never_aliases_more(self):
+        netlist = random_netlist(num_inputs=10, num_gates=60, seed=2)
+        patterns = lfsr_patterns(netlist.inputs, 128, seed=4)
+        narrow = signature_coverage(netlist, patterns, MISR(8, taps=(8, 6, 5, 4)))
+        wide = signature_coverage(netlist, patterns, MISR(24))
+        assert wide.aliased <= narrow.aliased
+
+    def test_undetected_faults_share_golden_signature(self):
+        # XOR chain with zero patterns: nothing detected, nothing aliased.
+        netlist = xor_chain(8)
+        result = signature_coverage(netlist, [], MISR(16))
+        assert result.detected_by_response == 0
+        assert result.aliased == 0
+        assert result.aliasing_rate == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not_a_kernel"])
+
+
+class TestCommands:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "crc32" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "histogram"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions:" in out
+        assert "footprint:" in out
+
+    def test_run_save_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.npz"
+        assert main(["run", "histogram", "--save-trace", str(path)]) == 0
+        assert path.exists()
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "crc32"]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out and ".text" in out
+
+    def test_profile_kernel(self, capsys):
+        assert main(["profile", "histogram", "--block-size", "16", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "spatial_locality" in out
+        assert "hottest" in out
+
+    def test_profile_saved_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        main(["run", "histogram", "--save-trace", str(path)])
+        capsys.readouterr()
+        assert main(["profile", str(path)]) == 0
+        assert "accesses" in capsys.readouterr().out
+
+    def test_profile_unknown_source_exits(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["profile", "no_such_thing"])
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", "table_lookup", "--block-size", "16", "--banks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "clustered+partitioned" in out
+        assert "clustering saves" in out
+
+    def test_compress(self, capsys):
+        assert main(["compress", "idct_rows", "--platform", "risc", "--codec", "bdi"]) == 0
+        out = capsys.readouterr().out
+        assert "bdi" in out and "saving" in out
+
+    def test_encode(self, capsys):
+        assert main(["encode", "histogram"]) == 0
+        out = capsys.readouterr().out
+        assert "functional" in out and "selected" in out
+
+    def test_phases(self, capsys):
+        assert main(["phases", "bubble_sort", "--window", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "phases in" in out
+
+
+class TestCodecompCommand:
+    def test_codecomp(self, capsys):
+        from repro.cli import main
+
+        assert main(["codecomp", "firmware"]) == 0
+        out = capsys.readouterr().out
+        assert "size reduction" in out and "slowdown" in out
+
+    def test_bist(self, capsys):
+        from repro.cli import main
+
+        assert main(["bist", "--width", "16", "--patterns", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "BIST" in out

@@ -1,0 +1,74 @@
+"""Unit tests for bit-level I/O."""
+
+import pytest
+
+from repro.compress import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.bit_length == 4
+        assert writer.getvalue() == bytes([0b1011_0000])
+
+    def test_multi_bit_values_msb_first(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b11111, 5)
+        assert writer.getvalue() == bytes([0b1011_1111])
+
+    def test_padding_to_byte(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert len(writer.getvalue()) == 1
+
+    def test_zero_width_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+
+class TestBitReader:
+    def test_reads_back_writes(self):
+        writer = BitWriter()
+        values = [(0b1101, 4), (0, 1), (0x5A, 8), (0x1FFFF, 17)]
+        for value, width in values:
+            writer.write(value, width)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        for value, width in values:
+            assert reader.read(width) == value
+
+    def test_eof_detection(self):
+        writer = BitWriter()
+        writer.write(3, 2)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read(2)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\xff", 8)
+        assert reader.bits_remaining == 8
+        reader.read(3)
+        assert reader.bits_remaining == 5
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+    def test_read_bit(self):
+        reader = BitReader(bytes([0b1000_0000]), 8)
+        assert reader.read_bit() == 1
+        assert reader.read_bit() == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the three line codecs."""
+
+import numpy as np
+import pytest
+
+from repro.compress import DifferentialCodec, LZWCodec, ZeroRunCodec
+
+CODECS = [DifferentialCodec(), ZeroRunCodec(), LZWCodec()]
+
+
+def words_to_bytes(words):
+    return b"".join((w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_empty(self, codec):
+        line = codec.compress(b"")
+        assert line.bit_length == 0
+        assert codec.decompress(line) == b""
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_zero_line(self, codec):
+        data = bytes(32)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_random_line(self, codec):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 64).astype("u1").tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_smooth_line(self, codec):
+        words = [1000 + 3 * i for i in range(16)]
+        data = words_to_bytes(words)
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_wraparound_words(self, codec):
+        data = words_to_bytes([0xFFFFFFFF, 0x0, 0x80000000, 0x7FFFFFFF])
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestBoundedness:
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_never_expands_beyond_escape(self, codec):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            data = rng.integers(0, 256, 32).astype("u1").tobytes()
+            line = codec.compress(data)
+            assert line.bit_length <= 8 * len(data) + 1
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_saved_bytes_nonnegative(self, codec):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 32).astype("u1").tobytes()
+        assert codec.compress(data).saved_bytes >= 0
+
+
+class TestDifferential:
+    def test_zero_deltas_compress_hard(self):
+        data = words_to_bytes([0xABCD1234] * 8)
+        line = DifferentialCodec().compress(data)
+        # 1 header + 32 base + 7 * 2-bit zero tags = 47 bits
+        assert line.bit_length == 47
+        assert line.ratio < 0.2
+
+    def test_byte_deltas(self):
+        data = words_to_bytes([100, 105, 98, 120, 119, 119, 119, 121])
+        line = DifferentialCodec().compress(data)
+        # deltas: 5, -7, 22, -1, 0, 0, 2 -> five byte-tags, two zero-tags
+        # 1 header + 32 base + 5*(2+8) + 2*2 = 87 bits
+        assert line.bit_length == 87
+
+    def test_rejects_unaligned_length(self):
+        with pytest.raises(ValueError):
+            DifferentialCodec().compress(b"\x01\x02\x03")
+
+    def test_transfer_bytes_rounds_up(self):
+        data = words_to_bytes([7] * 8)
+        line = DifferentialCodec().compress(data)
+        assert line.transfer_bytes == (line.bit_length + 7) // 8
+
+
+class TestZeroRun:
+    def test_zero_words_one_tag_each(self):
+        data = bytes(32)  # 8 zero words
+        line = ZeroRunCodec().compress(data)
+        assert line.bit_length == 1 + 8 * 3
+
+    def test_small_values_use_nibble_class(self):
+        data = words_to_bytes([1, -2 & 0xFFFFFFFF, 7, -8 & 0xFFFFFFFF])
+        line = ZeroRunCodec().compress(data)
+        assert line.bit_length == 1 + 4 * (3 + 4)
+
+    def test_high_half_pattern(self):
+        data = words_to_bytes([0xABCD0000])
+        line = ZeroRunCodec().compress(data)
+        assert line.bit_length == 1 + 3 + 16
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            ZeroRunCodec().compress(b"\x00" * 5)
+
+
+class TestLZW:
+    def test_repetitive_bytes_compress(self):
+        data = b"abcabcabcabc" * 16
+        line = LZWCodec().compress(data)
+        assert line.bit_length < 8 * len(data)
+        assert LZWCodec().decompress(line) == data
+
+    def test_long_payload_roundtrip(self):
+        rng = np.random.default_rng(4)
+        # Biased byte distribution so the dictionary pays off.
+        data = rng.choice([0, 1, 2, 255], size=4096).astype("u1").tobytes()
+        codec = LZWCodec(max_width=12)
+        line = codec.compress(data)
+        assert codec.decompress(line) == data
+        assert line.ratio < 0.8
+
+    def test_kwkwk_case(self):
+        # 'aaa...' exercises the code==next_code decoder branch.
+        data = b"a" * 100
+        codec = LZWCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_max_width_validation(self):
+        with pytest.raises(ValueError):
+            LZWCodec(max_width=8)
+        with pytest.raises(ValueError):
+            LZWCodec(max_width=21)
+
+    def test_dictionary_freeze_roundtrip(self):
+        # Small max_width forces the dictionary to fill and freeze.
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, 2048).astype("u1").tobytes()
+        codec = LZWCodec(max_width=9)
+        assert codec.decompress(codec.compress(data)) == data

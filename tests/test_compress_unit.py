@@ -1,0 +1,55 @@
+"""Unit tests for the hardware compression-unit model."""
+
+import pytest
+
+from repro.compress import CompressionUnit, DifferentialCodec, LZWCodec
+
+
+def smooth_line():
+    return b"".join((1000 + 2 * i).to_bytes(4, "little") for i in range(8))
+
+
+class TestCompressionUnit:
+    def test_compress_charges_energy_and_counts(self):
+        unit = CompressionUnit(DifferentialCodec())
+        line = unit.compress(smooth_line())
+        assert unit.stats.lines_compressed == 1
+        assert unit.stats.bytes_in == 32
+        assert unit.stats.bytes_out == line.transfer_bytes
+        assert unit.stats.energy == pytest.approx(unit.operation_energy(32))
+
+    def test_decompress_roundtrip_and_energy(self):
+        unit = CompressionUnit(DifferentialCodec())
+        data = smooth_line()
+        line = unit.compress(data)
+        assert unit.decompress(line) == data
+        assert unit.stats.lines_decompressed == 1
+        assert unit.stats.energy == pytest.approx(2 * unit.operation_energy(32))
+
+    def test_operation_energy_linear_in_bytes(self):
+        unit = CompressionUnit(DifferentialCodec(), e_per_byte=1.0, e_per_line=2.0)
+        assert unit.operation_energy(32) == pytest.approx(34.0)
+        assert unit.operation_energy(64) == pytest.approx(66.0)
+
+    def test_energy_factor_scales(self):
+        cheap = CompressionUnit(DifferentialCodec(), energy_factor=1.0)
+        costly = CompressionUnit(LZWCodec(), energy_factor=4.0)
+        assert costly.operation_energy(32) == pytest.approx(4 * cheap.operation_energy(32))
+
+    def test_latency(self):
+        unit = CompressionUnit(DifferentialCodec(), cycles_per_word=2)
+        assert unit.latency_cycles(32) == 16
+        assert unit.latency_cycles(6) == 4  # rounds up to 2 words
+
+    def test_mean_ratio(self):
+        unit = CompressionUnit(DifferentialCodec())
+        unit.compress(smooth_line())
+        assert 0.0 < unit.stats.mean_ratio < 1.0
+
+    def test_reset(self):
+        unit = CompressionUnit(DifferentialCodec())
+        unit.compress(smooth_line())
+        unit.reset()
+        assert unit.stats.energy == 0.0
+        assert unit.stats.lines_compressed == 0
+        assert unit.stats.mean_ratio == 1.0

@@ -1,0 +1,21 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples rot silently otherwise; running them under the test suite keeps the
+user-facing entry points honest.  Each example is executed in-process with
+its output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example prints a substantive report

@@ -1,0 +1,91 @@
+"""Cross-module integration tests: full experiment pipelines in miniature."""
+
+import pytest
+
+from repro.compress import DifferentialCodec
+from repro.core import optimize_memory_layout, trace_from_kernel
+from repro.encoding import TransformSelector
+from repro.isa import CPU, load_kernel
+from repro.platforms import risc_platform, vliw_platform
+from repro.reconfig import (
+    EnergyAwareScheduler,
+    NaiveScheduler,
+    ReconfigArchitecture,
+    build_pipeline_app,
+    evaluate_schedule,
+)
+from repro.trace import AccessProfile, save_npz, load_npz
+
+
+class TestE1Miniature:
+    """Kernel -> trace -> clustering flow -> energy ordering."""
+
+    def test_energy_ordering_holds(self):
+        trace = trace_from_kernel("table_lookup")
+        result = optimize_memory_layout(trace, block_size=16, max_banks=4, strategy="affinity")
+        mono = result.monolithic.simulated.total
+        part = result.partitioned.simulated.total
+        clus = result.clustered.simulated.total
+        assert clus <= part <= mono
+        assert result.saving_vs_partitioned > 0
+
+    def test_trace_survives_disk_roundtrip(self, tmp_path):
+        trace = trace_from_kernel("histogram")
+        path = tmp_path / "histogram.npz"
+        save_npz(trace, path)
+        reloaded = load_npz(path)
+        a = optimize_memory_layout(trace, block_size=16, max_banks=4)
+        b = optimize_memory_layout(reloaded, block_size=16, max_banks=4)
+        assert a.clustered.simulated.total == pytest.approx(b.clustered.simulated.total)
+
+
+class TestE2Miniature:
+    """Kernel -> platform with/without compression -> savings direction."""
+
+    def test_vliw_and_risc_both_save_on_streaming_kernel(self):
+        program = load_kernel("idct_rows")
+        for make in (risc_platform, vliw_platform):
+            base = make(None).run_program(program)
+            comp = make(DifferentialCodec()).run_program(program)
+            assert comp.breakdown.saving_vs(base.breakdown) > 0.0
+            assert comp.bytes_to_memory < base.bytes_to_memory
+
+
+class TestE3Miniature:
+    """Kernel fetch stream -> transform selection -> functional wins."""
+
+    def test_functional_transform_wins_on_dsp_kernels(self, kernel_runs):
+        for kernel in ("fir", "dot_product"):
+            result = kernel_runs(kernel)
+            words = [event.value for event in result.instruction_trace]
+            selection = TransformSelector(width=32).select(words)
+            assert selection.best_report.encoder_name.startswith("functional")
+            assert selection.best_report.reduction > 0.2
+
+
+class TestE4Miniature:
+    def test_scheduler_saves_on_pipeline(self):
+        app = build_pipeline_app(stages=4)
+        arch = ReconfigArchitecture()
+        naive = evaluate_schedule(app, arch, NaiveScheduler().schedule(app, arch))
+        smart = evaluate_schedule(app, arch, EnergyAwareScheduler().schedule(app, arch))
+        assert smart.total < naive.total
+        assert smart.l0_hits > 0
+
+
+class TestCrossSubstrateConsistency:
+    def test_profile_counts_match_trace(self, saxpy_run):
+        trace = saxpy_run.data_trace
+        profile = AccessProfile(trace, block_size=32)
+        assert profile.total_accesses == len(trace)
+        reads, writes = trace.read_write_counts()
+        assert sum(s.reads for s in map(profile.stats, profile.blocks)) == reads
+        assert sum(s.writes for s in map(profile.stats, profile.blocks)) == writes
+
+    def test_cpu_is_repeatable(self):
+        program = load_kernel("crc32")
+        a = CPU().run(program)
+        b = CPU().run(program)
+        assert a.registers == b.registers
+        assert len(a.data_trace) == len(b.data_trace)
+        assert [e.address for e in a.data_trace] == [e.address for e in b.data_trace]

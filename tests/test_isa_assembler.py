@@ -1,0 +1,186 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import Assembler, AssemblyError, Opcode, assemble, decode
+
+
+class TestSegments:
+    def test_data_layout(self):
+        program = assemble(
+            """
+            .data
+a:      .word 1, 2, 3
+b:      .byte 4, 5
+c:      .half 6
+            .text
+main:   halt
+"""
+        )
+        assert program.symbols["a"] == program.data_base
+        assert program.symbols["b"] == program.data_base + 12
+        assert program.symbols["c"] == program.data_base + 14
+        assert program.data_bytes[:4] == (1).to_bytes(4, "little")
+
+    def test_space_and_align(self):
+        program = assemble(
+            """
+            .data
+a:      .byte 1
+        .align 4
+b:      .word 2
+c:      .space 8
+d:      .word 3
+            .text
+            halt
+"""
+        )
+        assert program.symbols["b"] % 4 == 0
+        assert program.symbols["d"] - program.symbols["c"] == 8
+
+    def test_word_directive_accepts_labels(self):
+        program = assemble(
+            """
+            .data
+a:      .word 7
+ptr:    .word a
+            .text
+            halt
+"""
+        )
+        stored = int.from_bytes(program.data_bytes[4:8], "little")
+        assert stored == program.symbols["a"]
+
+    def test_negative_values_wrap(self):
+        program = assemble(".data\nx: .word -1\n.text\nhalt\n")
+        assert program.data_bytes[:4] == b"\xff\xff\xff\xff"
+
+
+class TestLabels:
+    def test_entry_defaults_to_main(self):
+        program = assemble(".text\nnop\nmain: halt\n")
+        assert program.entry == program.text_base + 4
+
+    def test_entry_falls_back_to_text_base(self):
+        program = assemble(".text\nhalt\n")
+        assert program.entry == program.text_base
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nx: nop\nx: halt\n")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nj nowhere\n")
+
+    def test_label_on_own_line(self):
+        program = assemble(".text\nlabel:\n    halt\n")
+        assert program.symbols["label"] == program.text_base
+
+
+class TestInstructions:
+    def test_branch_offset_forward_and_back(self):
+        program = assemble(
+            """
+            .text
+main:   nop
+loop:   nop
+        bne  r1, r2, loop
+        beq  r1, r2, end
+        nop
+end:    halt
+"""
+        )
+        back = decode(program.text_words[2])
+        fwd = decode(program.text_words[3])
+        assert back.imm == -2  # loop is 2 words before pc+1
+        assert fwd.imm == 1  # end is 1 word after pc+1
+
+    def test_li_small_is_one_instruction(self):
+        program = assemble(".text\nli r1, 100\nhalt\n")
+        assert len(program.text_words) == 2
+        assert decode(program.text_words[0]).opcode is Opcode.ADDI
+
+    def test_li_large_is_lui_ori(self):
+        program = assemble(".text\nli r1, 0x12345678\nhalt\n")
+        assert len(program.text_words) == 3
+        assert decode(program.text_words[0]).opcode is Opcode.LUI
+        assert decode(program.text_words[1]).opcode is Opcode.ORI
+
+    def test_la_always_two_instructions(self):
+        program = assemble(".data\nx: .word 0\n.text\nla r1, x\nhalt\n")
+        assert len(program.text_words) == 3
+
+    def test_memory_operand_parsing(self):
+        program = assemble(".text\nlw r1, -8(sp)\nsw r2, 12(r3)\nhalt\n")
+        load = decode(program.text_words[0])
+        store = decode(program.text_words[1])
+        assert (load.rd, load.rs1, load.imm) == (1, 29, -8)
+        assert (store.rd, store.rs1, store.imm) == (2, 3, 12)
+
+    def test_ble_bgt_swap_operands(self):
+        program = assemble(".text\nx: ble r1, r2, x\nbgt r3, r4, x\nhalt\n")
+        ble = decode(program.text_words[0])
+        bgt = decode(program.text_words[1])
+        assert ble.opcode is Opcode.BGE and (ble.rd, ble.rs1) == (2, 1)
+        assert bgt.opcode is Opcode.BLT and (bgt.rd, bgt.rs1) == (4, 3)
+
+    def test_pseudo_expansions(self):
+        program = assemble(".text\nmv r1, r2\nnop\nret\nhalt\n")
+        mv = decode(program.text_words[0])
+        nop = decode(program.text_words[1])
+        ret = decode(program.text_words[2])
+        assert mv.opcode is Opcode.ADDI and mv.imm == 0
+        assert nop.rd == 0
+        assert ret.opcode is Opcode.JALR and ret.rs1 == 31
+
+    def test_jal_forms(self):
+        program = assemble(".text\nmain: jal main\njal r5, main\nj main\nhalt\n")
+        assert decode(program.text_words[0]).rd == 31
+        assert decode(program.text_words[1]).rd == 5
+        assert decode(program.text_words[2]).rd == 0
+
+    def test_comments_stripped(self):
+        program = assemble(".text\nnop ; trailing\n# whole line\nhalt\n")
+        assert len(program.text_words) == 2
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble(".text\nfrobnicate r1, r2\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nadd r1, r2\n")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AssemblyError, match="only allowed in .text"):
+            assemble(".data\nadd r1, r2, r3\n")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\naddi r1, r0, 40000\n")
+
+    def test_logical_imm_accepts_unsigned_16bit(self):
+        program = assemble(".text\nori r1, r0, 0xFFFF\nhalt\n")
+        assert len(program.text_words) == 2
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="offset"):
+            assemble(".text\nlw r1, r2\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".data\n.quad 1\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble(".text\nnop\nbogus r1\n")
+
+
+class TestCustomBases:
+    def test_custom_data_base(self):
+        assembler = Assembler(data_base=0x8000)
+        program = assembler.assemble(".data\nx: .word 1\n.text\nhalt\n")
+        assert program.symbols["x"] == 0x8000

@@ -1,0 +1,76 @@
+"""Unit tests for the disassembler."""
+
+import pytest
+
+from repro.isa import (
+    CPU,
+    Instruction,
+    Opcode,
+    RFunct,
+    assemble,
+    disassemble_program,
+    disassemble_word,
+    encode,
+    kernel_names,
+    load_kernel,
+)
+
+
+class TestDisassembleWord:
+    def test_rtype(self):
+        word = encode(Instruction(Opcode.RTYPE, rd=3, rs1=4, rs2=5, funct=RFunct.MUL))
+        assert disassemble_word(word) == "mul r3, r4, r5"
+
+    def test_itype_negative(self):
+        word = encode(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-42))
+        assert disassemble_word(word) == "addi r1, r2, -42"
+
+    def test_logical_imm_unsigned(self):
+        word = encode(Instruction(Opcode.ORI, rd=1, rs1=1, imm=-1))
+        assert disassemble_word(word) == "ori r1, r1, 65535"
+
+    def test_load_store(self):
+        load = encode(Instruction(Opcode.LW, rd=7, rs1=8, imm=-4))
+        store = encode(Instruction(Opcode.SB, rd=9, rs1=10, imm=16))
+        assert disassemble_word(load) == "lw r7, -4(r8)"
+        assert disassemble_word(store) == "sb r9, 16(r10)"
+
+    def test_branch_uses_label(self):
+        word = encode(Instruction(Opcode.BNE, rd=1, rs1=2, imm=-2))
+        text = disassemble_word(word, pc=0x10, labels={0xC: "loop"})
+        assert text == "bne r1, r2, loop"
+
+    def test_branch_synthesizes_label(self):
+        word = encode(Instruction(Opcode.BEQ, rd=0, rs1=0, imm=3))
+        assert disassemble_word(word, pc=0) == "beq r0, r0, L_10"
+
+    def test_halt(self):
+        assert disassemble_word(encode(Instruction(Opcode.HALT))) == "halt"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kernel", ["crc32", "fib_recursive", "matmul", "table_lookup"])
+    def test_kernel_text_roundtrips(self, kernel):
+        original = load_kernel(kernel)
+        source = disassemble_program(original)
+        rebuilt = assemble(source, name=kernel)
+        assert rebuilt.text_words == original.text_words
+
+    @pytest.mark.parametrize("kernel", ["crc32", "fib_recursive"])
+    def test_rebuilt_kernel_computes_same_result(self, kernel):
+        original = load_kernel(kernel)
+        rebuilt = assemble(disassemble_program(original), name=kernel)
+        assert CPU().run(original).registers == CPU().run(rebuilt).registers
+
+    def test_all_kernels_disassemble(self):
+        for kernel in kernel_names():
+            text = disassemble_program(load_kernel(kernel))
+            assert "halt" in text
+            assert ".text" in text
+
+    def test_data_segment_preserved(self):
+        original = load_kernel("dot_product")
+        rebuilt = assemble(disassemble_program(original))
+        # Content identical up to word padding.
+        padded = original.data_bytes + b"\x00" * (-len(original.data_bytes) % 4)
+        assert rebuilt.data_bytes == padded

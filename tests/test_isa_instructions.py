@@ -1,0 +1,114 @@
+"""Unit tests for ISA encode/decode."""
+
+import pytest
+
+from repro.isa import Format, Instruction, Opcode, RFunct, decode, encode, register_number, sign_extend
+
+
+class TestRegisterNames:
+    def test_numeric_names(self):
+        assert register_number("r0") == 0
+        assert register_number("r31") == 31
+
+    def test_abi_aliases(self):
+        assert register_number("zero") == 0
+        assert register_number("sp") == 29
+        assert register_number("ra") == 31
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            register_number("r32")
+        with pytest.raises(ValueError):
+            register_number("x5")
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_negative(self):
+        assert sign_extend(0xFFFF, 16) == -1
+        assert sign_extend(0x8000, 16) == -32768
+
+    def test_masks_upper_bits(self):
+        assert sign_extend(0x1_0001, 16) == 1
+
+
+class TestRoundTrip:
+    def test_rtype(self):
+        original = Instruction(Opcode.RTYPE, rd=3, rs1=4, rs2=5, funct=RFunct.MUL)
+        decoded = decode(encode(original))
+        assert decoded == original
+        assert decoded.format is Format.R
+
+    def test_itype_negative_imm(self):
+        original = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-42)
+        assert decode(encode(original)) == original
+
+    def test_load_store(self):
+        load = Instruction(Opcode.LW, rd=7, rs1=8, imm=100)
+        store = Instruction(Opcode.SW, rd=9, rs1=10, imm=-8)
+        assert decode(encode(load)) == load
+        assert decode(encode(store)) == store
+
+    def test_jal(self):
+        original = Instruction(Opcode.JAL, rd=31, imm=-1000)
+        decoded = decode(encode(original))
+        assert decoded == original
+        assert decoded.format is Format.J
+
+    def test_halt(self):
+        assert decode(encode(Instruction(Opcode.HALT))).opcode is Opcode.HALT
+
+    @pytest.mark.parametrize("funct", list(RFunct))
+    def test_all_functs(self, funct):
+        original = Instruction(Opcode.RTYPE, rd=1, rs1=2, rs2=3, funct=funct)
+        assert decode(encode(original)).funct is funct
+
+
+class TestValidation:
+    def test_imm16_range(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADDI, rd=1, rs1=0, imm=40000))
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADDI, rd=1, rs1=0, imm=-40000))
+
+    def test_imm21_range(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.JAL, rd=0, imm=1 << 20))
+
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADDI, rd=32, rs1=0, imm=0))
+
+    def test_rtype_requires_funct(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.RTYPE, rd=1, rs1=2, rs2=3))
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            decode(0x3E << 26)  # 0x3E is unassigned
+
+    def test_decode_rejects_unknown_funct(self):
+        with pytest.raises(ValueError):
+            decode(0x7FF)  # RTYPE with funct 0x7FF
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+
+class TestPredicates:
+    def test_is_load_store_branch(self):
+        assert Instruction(Opcode.LW, rd=1, rs1=0, imm=0).is_load
+        assert Instruction(Opcode.SB, rd=1, rs1=0, imm=0).is_store
+        assert Instruction(Opcode.BNE, rd=1, rs1=2, imm=0).is_branch
+
+    def test_access_size(self):
+        assert Instruction(Opcode.LW, rd=1, rs1=0, imm=0).access_size == 4
+        assert Instruction(Opcode.LH, rd=1, rs1=0, imm=0).access_size == 2
+        assert Instruction(Opcode.SB, rd=1, rs1=0, imm=0).access_size == 1
+
+    def test_access_size_rejects_alu(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADDI, rd=1, rs1=0, imm=0).access_size

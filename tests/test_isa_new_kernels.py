@@ -1,0 +1,112 @@
+"""Correctness tests for the quicksort/transpose/binary-search kernels."""
+
+import numpy as np
+
+from repro.isa import CPU
+from repro.isa.programs import (
+    build_binary_search,
+    build_quicksort,
+    build_transpose,
+)
+
+
+def run(program):
+    cpu = CPU()
+    cpu.run(program)
+    return cpu
+
+
+def to_signed(value):
+    return value - 2**32 if value >= 2**31 else value
+
+
+def data_words(cpu, program, label, count):
+    base = program.symbols[label]
+    return [
+        int.from_bytes(cpu.memory[base + 4 * i : base + 4 * i + 4], "little")
+        for i in range(count)
+    ]
+
+
+def initial_words(program, label, count):
+    offset = program.symbols[label] - program.data_base
+    return [
+        to_signed(
+            int.from_bytes(program.data_bytes[offset + 4 * i : offset + 4 * i + 4], "little")
+        )
+        for i in range(count)
+    ]
+
+
+class TestQuicksort:
+    def test_sorts(self):
+        program = build_quicksort(n=64)
+        cpu = run(program)
+        values = [to_signed(v) for v in data_words(cpu, program, "arr", 64)]
+        assert values == sorted(values)
+
+    def test_permutation_preserved(self):
+        program = build_quicksort(n=64)
+        original = sorted(initial_words(program, "arr", 64))
+        cpu = run(program)
+        assert sorted(to_signed(v) for v in data_words(cpu, program, "arr", 64)) == original
+
+    def test_various_sizes(self):
+        for n in (2, 3, 17, 33):
+            program = build_quicksort(n=n, seed=n)
+            cpu = run(program)
+            values = [to_signed(v) for v in data_words(cpu, program, "arr", n)]
+            assert values == sorted(values), n
+
+    def test_stack_traffic_present(self):
+        program = build_quicksort(n=64)
+        result = CPU().run(program)
+        top_of_memory = (1 << 20) - 4096
+        stack_events = [e for e in result.data_trace if e.address > top_of_memory]
+        assert len(stack_events) > 50
+
+
+class TestTranspose:
+    def test_transpose_matches_numpy(self):
+        n = 12
+        program = build_transpose(n=n)
+        matrix = np.array(initial_words(program, "M", n * n)).reshape(n, n)
+        cpu = run(program)
+        got = np.array(
+            [to_signed(v) for v in data_words(cpu, program, "M", n * n)]
+        ).reshape(n, n)
+        assert np.array_equal(got, matrix.T)
+
+    def test_involution(self):
+        # Transposing the transposed initial data gives back the original —
+        # verified implicitly by the numpy check, but also confirm symmetry
+        # blocks on the diagonal are untouched.
+        n = 8
+        program = build_transpose(n=n)
+        matrix = np.array(initial_words(program, "M", n * n)).reshape(n, n)
+        cpu = run(program)
+        got = np.array(
+            [to_signed(v) for v in data_words(cpu, program, "M", n * n)]
+        ).reshape(n, n)
+        assert np.array_equal(np.diagonal(got), np.diagonal(matrix))
+
+
+class TestBinarySearch:
+    def test_hit_count_matches_python(self):
+        program = build_binary_search(table_size=128, queries=32)
+        table = initial_words(program, "table", 128)
+        keys = initial_words(program, "queries", 32)
+        expected = sum(1 for key in keys if key in set(table))
+        cpu = run(program)
+        assert data_words(cpu, program, "out", 1)[0] == expected
+
+    def test_planted_keys_found(self):
+        program = build_binary_search(table_size=128, queries=32)
+        cpu = run(program)
+        hits = data_words(cpu, program, "out", 1)[0]
+        assert hits >= 16  # every even query is planted from the table
+
+    def test_table_is_sorted(self):
+        program = build_binary_search()
+        table = initial_words(program, "table", 256)
+        assert table == sorted(table)

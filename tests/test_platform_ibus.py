@@ -1,0 +1,66 @@
+"""Tests for the content-accurate instruction-fetch path of the platform."""
+
+import pytest
+
+from repro.encoding import FunctionalEncoder, XorDiffEncoder
+from repro.isa import CPU, load_kernel
+from repro.platforms import Platform, risc_platform
+
+
+@pytest.fixture(scope="module")
+def fir_program():
+    return load_kernel("fir")
+
+
+@pytest.fixture(scope="module")
+def fir_fetch_words(fir_program):
+    return [event.value for event in CPU().run(fir_program).instruction_trace]
+
+
+class TestFetchBus:
+    def test_ibus_energy_present_with_instruction_trace(self, fir_program):
+        report = risc_platform().run_program(fir_program)
+        assert report.breakdown.ibus > 0
+
+    def test_no_ibus_energy_for_data_only_runs(self, saxpy_run):
+        report = risc_platform().run_traces(saxpy_run.data_trace)
+        assert report.breakdown.ibus == 0.0
+
+    def test_encoder_reduces_ibus_energy(self, fir_program, fir_fetch_words):
+        base = risc_platform().run_program(fir_program)
+        encoder = FunctionalEncoder.fit(
+            fir_fetch_words[: len(fir_fetch_words) // 2], width=32, xor_previous=False
+        )
+        encoded = Platform(risc_platform().config.with_ibus_encoder(encoder)).run_program(
+            fir_program
+        )
+        assert encoded.breakdown.ibus < base.breakdown.ibus
+        # Only the fetch path changes: D-side components identical.
+        assert encoded.breakdown.dcache == pytest.approx(base.breakdown.dcache)
+        assert encoded.breakdown.dram == pytest.approx(base.breakdown.dram)
+
+    def test_bad_encoder_can_increase_ibus_energy(self, fir_program):
+        # XOR-diff decorrelation is counterproductive on instruction words.
+        base = risc_platform().run_program(fir_program)
+        worse = Platform(
+            risc_platform().config.with_ibus_encoder(XorDiffEncoder(32))
+        ).run_program(fir_program)
+        assert worse.breakdown.ibus > base.breakdown.ibus
+
+    def test_refill_content_accurate(self, fir_program):
+        # With the instruction image, refill bursts drive real instruction
+        # bytes: off-chip bus energy must exceed the zero-content stand-in.
+        platform = risc_platform()
+        result = CPU().run(fir_program)
+        with_image = platform.run_program(fir_program)
+        without_image = platform.run_traces(result.data_trace, result.instruction_trace)
+        assert with_image.breakdown.bus > without_image.breakdown.bus
+
+    def test_with_ibus_encoder_preserves_other_fields(self):
+        config = risc_platform().config
+        encoder = XorDiffEncoder(32)
+        updated = config.with_ibus_encoder(encoder)
+        assert updated.ibus_encoder is encoder
+        assert config.ibus_encoder is None
+        assert updated.dcache == config.dcache
+        assert updated.codec is config.codec

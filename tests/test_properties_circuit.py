@@ -1,0 +1,82 @@
+"""Property-based tests for the gate-level substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import MISR, Netlist, random_netlist
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seed=seeds, pattern_seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_ternary_agrees_with_binary_on_concrete_inputs(seed, pattern_seed):
+    """With no X inputs, 3-valued simulation must equal binary simulation."""
+    netlist = random_netlist(num_inputs=8, num_gates=30, seed=seed % 50)
+    rng = np.random.default_rng(pattern_seed)
+    pattern = {net: int(rng.integers(0, 2)) for net in netlist.inputs}
+    binary = netlist.output_response(pattern, 1)
+    ternary = netlist.evaluate_ternary(pattern)
+    for net in netlist.outputs:
+        assert ternary[net] == binary[net]
+
+
+@given(seed=seeds, pattern_seed=seeds, num_x=st.integers(min_value=0, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_ternary_is_sound_over_approximation(seed, pattern_seed, num_x):
+    """Every definite (0/1) ternary output must match *every* concrete filling
+    of the X inputs — the soundness property X-identification relies on."""
+    netlist = random_netlist(num_inputs=8, num_gates=30, seed=seed % 50)
+    rng = np.random.default_rng(pattern_seed)
+    pattern = {net: int(rng.integers(0, 2)) for net in netlist.inputs}
+    x_nets = list(rng.choice(netlist.inputs, size=min(num_x, 4), replace=False))
+    ternary_in = dict(pattern)
+    for net in x_nets:
+        ternary_in[net] = Netlist.X
+    ternary = netlist.evaluate_ternary(ternary_in)
+    # Enumerate all fillings of the X inputs.
+    import itertools
+
+    for filling in itertools.product((0, 1), repeat=len(x_nets)):
+        concrete = dict(pattern)
+        for net, value in zip(x_nets, filling):
+            concrete[net] = value
+        binary = netlist.output_response(concrete, 1)
+        for net in netlist.outputs:
+            if ternary[net] != Netlist.X:
+                assert ternary[net] == binary[net]
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=2**20 - 1), min_size=1, max_size=30),
+    flip_index=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_misr_linearity_single_corruption_always_detected(stream, flip_index):
+    """A MISR is linear over GF(2): any single-bit corruption of the stream
+    must change the signature (no single-error aliasing)."""
+    misr = MISR(16)
+    golden = misr.absorb_responses(stream)
+    index = flip_index.draw(st.integers(min_value=0, max_value=len(stream) - 1))
+    bit = flip_index.draw(st.integers(min_value=0, max_value=19))
+    corrupted = list(stream)
+    corrupted[index] ^= 1 << bit
+    assert misr.absorb_responses(corrupted) != golden
+
+
+@given(
+    a=st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20),
+    b=st.lists(st.integers(min_value=0, max_value=2**16 - 1), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_misr_superposition(a, b):
+    """Signature of (a XOR b) stream equals XOR of signatures when lengths
+    match — the GF(2) superposition property of linear compactors."""
+    if len(a) != len(b):
+        b = (b * ((len(a) // len(b)) + 1))[: len(a)]
+    misr = MISR(16)
+    sig_a = misr.absorb_responses(a)
+    sig_b = misr.absorb_responses(b)
+    sig_xor = misr.absorb_responses([x ^ y for x, y in zip(a, b)])
+    assert sig_xor == sig_a ^ sig_b

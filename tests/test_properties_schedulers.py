@@ -1,0 +1,63 @@
+"""Property-based tests for the reconfig scheduler and SPM allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reconfig import (
+    EnergyAwareScheduler,
+    NaiveScheduler,
+    ReconfigArchitecture,
+    evaluate_schedule,
+    random_app,
+)
+from repro.spm import SPMAllocator, SPMConfig, SPMPlatform
+from repro.trace import AccessProfile, ScatteredHotGenerator
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    num_kernels=st.integers(min_value=1, max_value=20),
+    l0_size=st.sampled_from([512, 1024, 2048, 4096]),
+)
+@settings(max_examples=40, deadline=None)
+def test_energy_aware_scheduler_never_loses_to_naive(seed, num_kernels, l0_size):
+    """Across arbitrary applications and L0 sizes, the energy-aware schedule
+    must never cost more than the naive one — its placement values are exact
+    lower bounds, so a losing placement would be a model bug."""
+    app = random_app(num_kernels=num_kernels, seed=seed)
+    arch = ReconfigArchitecture(l0_size=l0_size)
+    naive = evaluate_schedule(app, arch, NaiveScheduler().schedule(app, arch))
+    smart = evaluate_schedule(app, arch, EnergyAwareScheduler().schedule(app, arch))
+    assert smart.total <= naive.total + 1e-6
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_scheduler_order_is_always_valid_permutation(seed):
+    app = random_app(num_kernels=15, seed=seed)
+    arch = ReconfigArchitecture()
+    schedule = EnergyAwareScheduler().schedule(app, arch)
+    assert sorted(schedule.order) == list(range(15))
+    # Placements always fit capacity (evaluate_schedule enforces, must not raise).
+    evaluate_schedule(app, arch, schedule)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    spm_size=st.sampled_from([256, 512, 1024, 2048]),
+)
+@settings(max_examples=15, deadline=None)
+def test_spm_allocation_never_increases_energy(seed, spm_size):
+    """The allocator's benefit model is calibrated from the measured cache
+    path, so the chosen allocation must never lose to no-SPM."""
+    trace = ScatteredHotGenerator(
+        num_blocks=120, num_hot=12, hot_weight=25.0, accesses=6000, seed=seed
+    ).generate()
+    platform = SPMPlatform()
+    base = platform.run_traces(trace)
+    cache_path_energy = platform.measured_cache_path_energy(trace)
+    allocation = SPMAllocator(
+        SPMConfig(size=spm_size), cache_path_energy=cache_path_energy
+    ).allocate(AccessProfile(trace, 32))
+    report = platform.run_traces(trace, allocation)
+    assert report.breakdown.total <= base.breakdown.total * 1.02

@@ -1,0 +1,208 @@
+"""Unit tests for the reconfigurable-fabric model and schedulers."""
+
+import pytest
+
+from repro.reconfig import (
+    Application,
+    DataSet,
+    EnergyAwareScheduler,
+    Kernel,
+    NaiveScheduler,
+    ReconfigArchitecture,
+    Schedule,
+    build_alternating_app,
+    build_pipeline_app,
+    evaluate_schedule,
+    random_app,
+)
+
+
+def tiny_app():
+    return Application(
+        name="tiny",
+        kernels=(
+            Kernel(
+                "k0",
+                context=0,
+                data_sets=(DataSet("a", size=256, reads=1000, writes=0),),
+            ),
+            Kernel(
+                "k1",
+                context=1,
+                data_sets=(DataSet("a", size=256, reads=500, writes=100),),
+            ),
+        ),
+    )
+
+
+class TestModelValidation:
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            DataSet("x", size=0, reads=1, writes=0)
+        with pytest.raises(ValueError):
+            DataSet("x", size=4, reads=-1, writes=0)
+
+    def test_kernel_duplicate_datasets_rejected(self):
+        ds = DataSet("a", size=4, reads=1, writes=0)
+        with pytest.raises(ValueError):
+            Kernel("k", context=0, data_sets=(ds, ds))
+
+    def test_application_needs_kernels(self):
+        with pytest.raises(ValueError):
+            Application(name="empty", kernels=())
+
+    def test_architecture_validation(self):
+        with pytest.raises(ValueError):
+            ReconfigArchitecture(l0_size=0)
+        with pytest.raises(ValueError):
+            ReconfigArchitecture(e_l0_access=5.0, e_l1_access=5.0)
+
+    def test_num_contexts(self):
+        assert tiny_app().num_contexts == 2
+
+
+class TestEvaluation:
+    def test_naive_pays_l1_for_everything(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        energy = evaluate_schedule(app, arch, NaiveScheduler().schedule(app, arch))
+        expected_access = (1000 + 600) * arch.e_l1_access
+        assert energy.access_energy == pytest.approx(expected_access)
+        assert energy.transfer_energy == 0.0
+        assert energy.context_loads == 2
+
+    def test_schedule_order_must_be_permutation(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        bad = Schedule(order=(0, 0), l0_placements=(frozenset(), frozenset()))
+        with pytest.raises(ValueError):
+            evaluate_schedule(app, arch, bad)
+
+    def test_foreign_placement_rejected(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        bad = Schedule(order=(0, 1), l0_placements=(frozenset({"zzz"}), frozenset()))
+        with pytest.raises(ValueError):
+            evaluate_schedule(app, arch, bad)
+
+    def test_capacity_enforced(self):
+        app = Application(
+            name="big",
+            kernels=(
+                Kernel("k", context=0, data_sets=(DataSet("huge", 999999, 10, 0),)),
+            ),
+        )
+        arch = ReconfigArchitecture(l0_size=1024)
+        bad = Schedule(order=(0,), l0_placements=(frozenset({"huge"}),))
+        with pytest.raises(ValueError):
+            evaluate_schedule(app, arch, bad)
+
+    def test_l0_placement_charges_transfer_and_cheap_access(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        schedule = Schedule(order=(0, 1), l0_placements=(frozenset({"a"}), frozenset()))
+        energy = evaluate_schedule(app, arch, schedule)
+        # k0 reads from L0; data set "a" staged once (clean, read-only in k0).
+        assert energy.access_energy == pytest.approx(
+            1000 * arch.e_l0_access + 600 * arch.e_l1_access
+        )
+        assert energy.transfer_energy == pytest.approx(arch.e_transfer_per_byte * 256)
+
+    def test_dirty_l0_data_writes_back(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        # k1 writes "a" while it is in L0 -> staging + final write-back.
+        schedule = Schedule(order=(0, 1), l0_placements=(frozenset(), frozenset({"a"})))
+        energy = evaluate_schedule(app, arch, schedule)
+        assert energy.transfer_energy == pytest.approx(2 * arch.e_transfer_per_byte * 256)
+
+    def test_keeping_data_resident_avoids_restaging(self):
+        app = tiny_app()
+        arch = ReconfigArchitecture()
+        both = Schedule(order=(0, 1), l0_placements=(frozenset({"a"}), frozenset({"a"})))
+        energy = evaluate_schedule(app, arch, both)
+        # One staging + one dirty write-back; no re-staging for k1.
+        assert energy.transfer_energy == pytest.approx(2 * arch.e_transfer_per_byte * 256)
+
+    def test_context_lru(self):
+        kernels = tuple(
+            Kernel(f"k{i}", context=c, data_sets=(DataSet(f"d{i}", 64, 10, 0),))
+            for i, c in enumerate([0, 1, 0, 2, 0])
+        )
+        app = Application(name="ctx", kernels=kernels)
+        arch = ReconfigArchitecture(context_slots=2)
+        energy = evaluate_schedule(app, arch, NaiveScheduler().schedule(app, arch))
+        # loads: 0, 1, (0 hit), 2 (evicts 1), (0 hit) -> 3 loads
+        assert energy.context_loads == 3
+
+
+class TestEnergyAwareScheduler:
+    @pytest.mark.parametrize(
+        "app",
+        [build_pipeline_app(), build_alternating_app(), random_app(seed=1), random_app(seed=2)],
+        ids=["pipeline", "alternating", "random1", "random2"],
+    )
+    def test_beats_naive(self, app):
+        arch = ReconfigArchitecture()
+        naive = evaluate_schedule(app, arch, NaiveScheduler().schedule(app, arch))
+        smart = evaluate_schedule(app, arch, EnergyAwareScheduler().schedule(app, arch))
+        assert smart.total < naive.total
+
+    def test_context_grouping_reduces_loads(self):
+        app = build_alternating_app(rounds=4, contexts=4)
+        arch = ReconfigArchitecture(context_slots=1)
+        with_grouping = EnergyAwareScheduler(group_contexts=True).schedule(app, arch)
+        without = EnergyAwareScheduler(group_contexts=False).schedule(app, arch)
+        loads_with = evaluate_schedule(app, arch, with_grouping).context_loads
+        loads_without = evaluate_schedule(app, arch, without).context_loads
+        assert loads_with < loads_without
+
+    def test_grouping_respects_dependences(self):
+        # Pipeline stages are chained by frames: order must stay 0..n-1.
+        app = build_pipeline_app(stages=5)
+        arch = ReconfigArchitecture()
+        schedule = EnergyAwareScheduler().schedule(app, arch)
+        assert list(schedule.order) == list(range(5))
+
+    def test_placements_fit_capacity(self):
+        app = random_app(num_kernels=20, seed=3)
+        arch = ReconfigArchitecture(l0_size=512)
+        schedule = EnergyAwareScheduler().schedule(app, arch)
+        for slot, kernel_index in enumerate(schedule.order):
+            kernel = app.kernels[kernel_index]
+            sizes = {ds.name: ds.size for ds in kernel.data_sets}
+            assert sum(sizes[name] for name in schedule.l0_placements[slot]) <= arch.l0_size
+
+    def test_oversized_datasets_never_placed(self):
+        app = Application(
+            name="one",
+            kernels=(
+                Kernel("k", context=0, data_sets=(DataSet("big", 4096, 100000, 0),)),
+            ),
+        )
+        arch = ReconfigArchitecture(l0_size=1024)
+        schedule = EnergyAwareScheduler().schedule(app, arch)
+        assert schedule.l0_placements[0] == frozenset()
+
+    def test_larger_l0_never_hurts(self):
+        app = build_pipeline_app()
+        small = ReconfigArchitecture(l0_size=512)
+        large = ReconfigArchitecture(l0_size=4096)
+        scheduler = EnergyAwareScheduler()
+        energy_small = evaluate_schedule(app, small, scheduler.schedule(app, small))
+        energy_large = evaluate_schedule(app, large, scheduler.schedule(app, large))
+        assert energy_large.total <= energy_small.total + 1e-9
+
+
+class TestWorkloads:
+    def test_pipeline_shares_frames(self):
+        app = build_pipeline_app(stages=3)
+        names0 = {ds.name for ds in app.kernels[0].data_sets}
+        names1 = {ds.name for ds in app.kernels[1].data_sets}
+        assert names0 & names1  # frame1 shared
+
+    def test_random_app_deterministic(self):
+        a = random_app(seed=9)
+        b = random_app(seed=9)
+        assert [k.name for k in a.kernels] == [k.name for k in b.kernels]
+        assert a.kernels[0].data_sets == b.kernels[0].data_sets

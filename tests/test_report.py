@@ -1,0 +1,56 @@
+"""Unit tests for table rendering and paper comparisons."""
+
+import pytest
+
+from repro.report import PaperComparison, format_value, render_comparisons, render_table
+
+
+class TestFormatValue:
+    def test_small_float(self):
+        assert format_value(0.256) == "0.256"
+
+    def test_large_float(self):
+        assert format_value(12345.6) == "12,345.6"
+
+    def test_int_and_str(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        table = render_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numbers_right_aligned(self):
+        table = render_table(["v"], [[1], [100]])
+        rows = table.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+
+class TestPaperComparison:
+    def test_band_membership(self):
+        comparison = PaperComparison("E1", "saving", 0.10, 0.30, 0.25, True)
+        assert comparison.in_band
+        assert not PaperComparison("E1", "s", 0.10, 0.30, 0.35, True).in_band
+
+    def test_point_claim_text(self):
+        assert PaperComparison("E", "m", 0.5, 0.5, 0.5, True).paper_text() == "50.0%"
+        assert ".." in PaperComparison("E", "m", 0.1, 0.2, 0.1, True).paper_text()
+
+    def test_render_comparisons(self):
+        rows = [
+            PaperComparison("E1", "saving", 0.10, 0.30, 0.25, True),
+            PaperComparison("E2", "saving", 0.10, 0.22, 0.05, False),
+        ]
+        text = render_comparisons(rows, title="summary")
+        assert "E1" in text and "NO" in text and "yes" in text

@@ -1,0 +1,88 @@
+"""Tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.report import bar_chart, histogram, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline(range(8))
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_rows_and_alignment(self):
+        chart = bar_chart({"a": 10.0, "bb": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+
+    def test_largest_value_gets_full_width(self):
+        chart = bar_chart({"x": 100.0, "y": 50.0}, width=10, show_values=False)
+        bars = [line.split()[1] for line in chart.splitlines()]
+        assert len(bars[0]) == 10
+        assert len(bars[1]) == 5
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart({"x": 10.0, "none": 0.0}, width=10, show_values=False)
+        assert chart.splitlines()[1].strip() == "none"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_accepts_sequences(self):
+        chart = bar_chart([("first", 1.0), ("second", 2.0)])
+        assert chart.splitlines()[0].startswith("first")
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert histogram([]) == ""
+
+    def test_counts_partition_sample(self):
+        text = histogram([1, 1, 2, 9, 10], bins=3)
+        # Total of rendered counts equals the sample size.
+        totals = [float(line.rsplit(None, 1)[-1].replace(",", "")) for line in text.splitlines()]
+        assert sum(totals) == 5
+
+    def test_single_value_sample(self):
+        text = histogram([7, 7, 7])
+        assert "3" in text
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            histogram([1, 2], bins=0)
+
+    def test_extreme_values_fall_in_terminal_bins(self):
+        text = histogram([0, 100], bins=2)
+        lines = text.splitlines()
+        assert len(lines) == 2
+
+
+class TestCLIChart:
+    def test_profile_chart_mode(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "histogram", "--chart", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+        assert "reuse-distance" in out

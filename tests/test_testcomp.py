@@ -1,0 +1,155 @@
+"""Tests for scan test-data compression (EX7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testcomp import (
+    FILL_STRATEGIES,
+    TestPattern,
+    TestSet,
+    clustered_test_set,
+    compress_test_set,
+    one_fill,
+    pack_test_set,
+    random_fill,
+    random_test_set,
+    repeat_fill,
+    unpack_test_set,
+    zero_fill,
+)
+from repro.testcomp.vectors import DONT_CARE
+
+
+class TestVectors:
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            TestPattern((0, 1, 3))
+
+    def test_care_density(self):
+        pattern = TestPattern((0, 1, DONT_CARE, DONT_CARE))
+        assert pattern.care_bits == 2
+        assert pattern.care_density == 0.5
+
+    def test_compatibility(self):
+        original = TestPattern((0, DONT_CARE, 1))
+        assert original.compatible_with(TestPattern((0, 1, 1)))
+        assert original.compatible_with(TestPattern((0, 0, 1)))
+        assert not original.compatible_with(TestPattern((1, 0, 1)))
+        assert not original.compatible_with(TestPattern((0, 1)))
+
+    def test_test_set_validation(self):
+        with pytest.raises(ValueError):
+            TestSet(())
+        with pytest.raises(ValueError):
+            TestSet((TestPattern((0,)), TestPattern((0, 1))))
+
+    def test_generators_hit_target_density(self):
+        for factory in (random_test_set, clustered_test_set):
+            test_set = factory(num_patterns=32, num_cells=256, care_density=0.15, seed=3)
+            assert test_set.mean_care_density == pytest.approx(0.15, abs=0.05)
+
+    def test_generators_deterministic(self):
+        a = clustered_test_set(seed=9)
+        b = clustered_test_set(seed=9)
+        assert a.patterns == b.patterns
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            random_test_set(care_density=1.5)
+        with pytest.raises(ValueError):
+            clustered_test_set(cluster_span=0)
+
+
+class TestFills:
+    @pytest.mark.parametrize("name", sorted(FILL_STRATEGIES))
+    def test_fills_preserve_specified_bits(self, name):
+        test_set = clustered_test_set(num_patterns=16, num_cells=128, seed=4)
+        filled = FILL_STRATEGIES[name](test_set)
+        for original, concrete in zip(test_set.patterns, filled.patterns):
+            assert original.compatible_with(concrete)
+
+    @pytest.mark.parametrize("name", sorted(FILL_STRATEGIES))
+    def test_fills_remove_all_dont_cares(self, name):
+        test_set = random_test_set(num_patterns=8, num_cells=64, seed=5)
+        filled = FILL_STRATEGIES[name](test_set)
+        assert all(
+            bit in (0, 1) for pattern in filled.patterns for bit in pattern.bits
+        )
+
+    def test_zero_and_one_fill_values(self):
+        test_set = TestSet((TestPattern((DONT_CARE, 1, DONT_CARE)),))
+        assert zero_fill(test_set).patterns[0].bits == (0, 1, 0)
+        assert one_fill(test_set).patterns[0].bits == (1, 1, 1)
+
+    def test_repeat_fill_copies_previous_bit(self):
+        test_set = TestSet((TestPattern((1, DONT_CARE, DONT_CARE, 0, DONT_CARE)),))
+        assert repeat_fill(test_set).patterns[0].bits == (1, 1, 1, 0, 0)
+
+    def test_repeat_fill_carries_across_patterns(self):
+        test_set = TestSet(
+            (TestPattern((1, DONT_CARE)), TestPattern((DONT_CARE, 0)))
+        )
+        filled = repeat_fill(test_set)
+        assert filled.patterns[1].bits == (1, 0)
+
+    def test_repeat_fill_minimizes_transitions(self):
+        test_set = clustered_test_set(num_patterns=16, num_cells=256, seed=6)
+
+        def transitions(filled):
+            stream = [bit for pattern in filled.patterns for bit in pattern.bits]
+            return sum(1 for a, b in zip(stream, stream[1:]) if a != b)
+
+        assert transitions(repeat_fill(test_set)) <= transitions(random_fill(test_set))
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        test_set = zero_fill(random_test_set(num_patterns=4, num_cells=33, seed=7))
+        payload = pack_test_set(test_set)
+        recovered = unpack_test_set(payload, 4, 33)
+        assert recovered.patterns == test_set.patterns
+
+    def test_pack_rejects_dont_cares(self):
+        with pytest.raises(ValueError):
+            pack_test_set(TestSet((TestPattern((DONT_CARE,)),)))
+
+    def test_unpack_rejects_short_payload(self):
+        with pytest.raises(ValueError):
+            unpack_test_set(b"\x00", 4, 64)
+
+    @given(
+        num_patterns=st.integers(min_value=1, max_value=6),
+        num_cells=st.integers(min_value=1, max_value=70),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_unpack_property(self, num_patterns, num_cells, seed):
+        test_set = zero_fill(
+            random_test_set(num_patterns, num_cells, care_density=0.5, seed=seed)
+        )
+        payload = pack_test_set(test_set)
+        assert unpack_test_set(payload, num_patterns, num_cells).patterns == test_set.patterns
+
+
+class TestCompression:
+    def test_verified_compression(self):
+        test_set = clustered_test_set(num_patterns=32, num_cells=256, seed=8)
+        outcome = compress_test_set(
+            repeat_fill(test_set), "repeat", verify_against=test_set
+        )
+        assert outcome.reduction > 0.5
+
+    def test_xaware_fills_beat_random_fill(self):
+        test_set = clustered_test_set(num_patterns=48, num_cells=512, seed=9)
+        random_outcome = compress_test_set(random_fill(test_set), "random")
+        for fill in (zero_fill, one_fill, repeat_fill):
+            outcome = compress_test_set(fill(test_set), fill.__name__)
+            assert outcome.ratio < 0.5 * random_outcome.ratio
+
+    def test_ratio_degrades_with_care_density(self):
+        ratios = []
+        for density in (0.05, 0.2, 0.5):
+            test_set = clustered_test_set(care_density=density, seed=10)
+            ratios.append(compress_test_set(repeat_fill(test_set), "repeat").ratio)
+        assert ratios == sorted(ratios)

@@ -1,0 +1,95 @@
+"""Unit tests for trace file I/O."""
+
+import pytest
+
+from repro.trace import (
+    AccessKind,
+    AddressSpace,
+    MemoryAccess,
+    Trace,
+    load_npz,
+    load_text,
+    save_npz,
+    save_text,
+)
+
+
+def sample_trace():
+    return Trace(
+        [
+            MemoryAccess(time=0, address=0x1000, size=4, kind=AccessKind.READ),
+            MemoryAccess(time=1, address=0x1004, size=2, kind=AccessKind.WRITE, value=0xBEEF),
+            MemoryAccess(
+                time=2,
+                address=0x0,
+                size=4,
+                kind=AccessKind.READ,
+                space=AddressSpace.INSTRUCTION,
+                value=0x12345678,
+            ),
+        ],
+        name="sample",
+    )
+
+
+def assert_traces_equal(a, b):
+    assert a.name == b.name
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert (x.time, x.address, x.size, x.kind, x.space, x.value) == (
+            y.time,
+            y.address,
+            y.size,
+            y.kind,
+            y.space,
+            y.value,
+        )
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.trc"
+        original = sample_trace()
+        save_text(original, path)
+        assert_traces_equal(original, load_text(path))
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        path = tmp_path / "trace.trc"
+        path.write_text("# comment\n\n0 R D 0x10 4\n")
+        trace = load_text(path)
+        assert len(trace) == 1
+        assert trace[0].address == 0x10
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("0 R D\n")
+        with pytest.raises(ValueError):
+            load_text(path)
+
+    def test_name_header(self, tmp_path):
+        path = tmp_path / "x.trc"
+        save_text(sample_trace(), path)
+        assert load_text(path).name == "sample"
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        original = sample_trace()
+        save_npz(original, path)
+        assert_traces_equal(original, load_npz(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(Trace(name="empty"), path)
+        loaded = load_npz(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+    def test_large_roundtrip(self, tmp_path):
+        from repro.trace import StridedSweepGenerator
+
+        original = StridedSweepGenerator(length=500, sweeps=2).generate()
+        path = tmp_path / "big.npz"
+        save_npz(original, path)
+        assert_traces_equal(original, load_npz(path))
