@@ -8,3 +8,14 @@ one run of each experiment is what the paper reports.  Run with::
 
 ``-s`` shows the regenerated tables.
 """
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (pip-installed or PYTHONPATH already set)
+except ModuleNotFoundError:
+    # Running from a bare checkout: make src/ importable without PYTHONPATH.
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))

@@ -1,0 +1,186 @@
+"""Public-surface hygiene: ``__all__`` consistency and docstrings.
+
+Every module in the package declares ``__all__``; it is the statement of what
+the module exports, and the thing ``from repro.x import *`` and the docs
+build trust.  Drift in either direction is an error:
+
+``API001``
+    An ``__all__`` entry that names nothing the module defines or imports —
+    usually a leftover from a rename.
+``API002``
+    A public module-level function or class (no leading underscore) missing
+    from ``__all__`` — either export it or underscore it.  A module that
+    defines public functions/classes but no ``__all__`` at all is flagged on
+    line 1.
+``API003``
+    A public function, class, or public method without a docstring.
+    ``@overload`` stubs, dunders, and property setters/deleters are exempt
+    (their semantics live on the getter or implementation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .rules import Finding, SourceModule
+
+__all__ = ["check_api", "declared_all", "module_level_names"]
+
+
+def declared_all(tree: ast.Module) -> tuple[list[str], int] | None:
+    """Return (entries, line) of the module's ``__all__``, or ``None``.
+
+    Only literal list/tuple assignments are understood; an ``__all__`` built
+    dynamically is treated as absent (and will be flagged via API002 if the
+    module defines public names).
+    """
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    entries = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return entries, node.lineno
+    return None
+
+
+def _assigned_names(node: ast.stmt) -> Iterator[str]:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        yield element.id
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(node.target, ast.Name):
+            yield node.target.id
+
+
+def module_level_names(tree: ast.Module) -> dict[str, int]:
+    """Every name bound at module level, mapped to its line number.
+
+    Walks into ``if``/``try`` blocks (``TYPE_CHECKING`` guards, optional
+    imports) but not into functions or classes.
+    """
+    names: dict[str, int] = {}
+
+    def scan(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.setdefault(node.name, node.lineno)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name.split(".")[0]
+                    names.setdefault(local, node.lineno)
+            elif isinstance(node, ast.If):
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                scan(node.body)
+                for handler in node.handlers:
+                    scan(handler.body)
+                scan(node.orelse)
+                scan(node.finalbody)
+            else:
+                for name in _assigned_names(node):
+                    names.setdefault(name, node.lineno)
+
+    scan(tree.body)
+    return names
+
+
+def _is_overload_or_exempt_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Attribute):
+            if target.attr in ("setter", "deleter", "overload"):
+                return True
+            target = target.value
+        if isinstance(target, ast.Name) and target.id == "overload":
+            return True
+    return False
+
+
+def _docstring_findings(
+    body: list[ast.stmt], path: str, *, owner: str | None
+) -> Iterator[Finding]:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            if _is_overload_or_exempt_property(node):
+                continue
+            if ast.get_docstring(node) is None:
+                where = f"{owner}.{node.name}" if owner else node.name
+                kind = "method" if owner else "function"
+                yield Finding(
+                    path, node.lineno, "API003", f"public {kind} {where}() has no docstring"
+                )
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                yield Finding(
+                    path, node.lineno, "API003", f"public class {node.name} has no docstring"
+                )
+            yield from _docstring_findings(node.body, path, owner=node.name)
+
+
+def check_api(module: SourceModule) -> Iterator[Finding]:
+    """Run API001–API003 over one module."""
+    path = str(module.path)
+    defined = module_level_names(module.tree)
+    exported = declared_all(module.tree)
+
+    public_defs = {
+        node.name: node.lineno
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and not node.name.startswith("_")
+    }
+
+    if exported is None:
+        if public_defs:
+            yield Finding(
+                path,
+                1,
+                "API002",
+                f"module defines public names ({', '.join(sorted(public_defs))}) "
+                f"but no __all__",
+            )
+    else:
+        entries, all_line = exported
+        for entry in entries:
+            if entry not in defined:
+                yield Finding(
+                    path,
+                    all_line,
+                    "API001",
+                    f"__all__ names {entry!r} but the module does not define it",
+                )
+        for name, line in sorted(public_defs.items()):
+            if name not in entries:
+                yield Finding(
+                    path,
+                    line,
+                    "API002",
+                    f"public definition {name!r} is missing from __all__; "
+                    f"export it or prefix it with an underscore",
+                )
+
+    yield from _docstring_findings(module.tree.body, path, owner=None)

@@ -1,0 +1,118 @@
+"""Error-handling and signature conventions.
+
+ARCHITECTURE.md: "constructor/validation errors are ``ValueError`` with the
+offending value in the message" — an error you cannot act on is half an
+error.  These checks keep that promise, plus two classic Python foot-guns:
+
+``CON001``
+    ``raise ValueError(...)`` whose message cannot contain the offending
+    value: no argument at all, or a message that is a plain string constant
+    (or an f-string with no interpolated fields).  Messages built with
+    f-strings, ``%``, ``.format`` or string concatenation are accepted.
+``CON002``
+    Bare ``except:`` — swallows ``KeyboardInterrupt``/``SystemExit`` and
+    hides programming errors.
+``CON003``
+    Mutable default arguments (``def f(x=[])``): the default is evaluated
+    once and shared across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .rules import Finding, SourceModule
+
+__all__ = ["check_conventions"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_static_message(node: ast.expr) -> bool:
+    """True if the message expression cannot embed a runtime value."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.JoinedStr):
+        return not any(isinstance(part, ast.FormattedValue) for part in node.values)
+    return False
+
+
+def _raises_valueerror(node: ast.Raise) -> ast.Call | bool | None:
+    """Classify a raise: a ValueError Call, True for bare ``raise ValueError``."""
+    exc = node.exc
+    if isinstance(exc, ast.Name) and exc.id == "ValueError":
+        return True
+    if (
+        isinstance(exc, ast.Call)
+        and isinstance(exc.func, ast.Name)
+        and exc.func.id == "ValueError"
+    ):
+        return exc
+    return None
+
+
+def _mutable_default_findings(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, path: str
+) -> Iterator[Finding]:
+    defaults = list(node.args.defaults) + [
+        default for default in node.args.kw_defaults if default is not None
+    ]
+    for default in defaults:
+        mutable = isinstance(default, _MUTABLE_LITERALS) or (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in _MUTABLE_CALLS
+        )
+        if mutable:
+            yield Finding(
+                path,
+                default.lineno,
+                "CON003",
+                f"mutable default argument in {node.name}(); default to None "
+                f"and construct inside the function",
+            )
+
+
+def check_conventions(module: SourceModule) -> Iterator[Finding]:
+    """Run CON001–CON003 over one module."""
+    path = str(module.path)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Raise):
+            classified = _raises_valueerror(node)
+            if classified is True:
+                yield Finding(
+                    path,
+                    node.lineno,
+                    "CON001",
+                    "raise ValueError without a message; include the "
+                    "offending value",
+                )
+            elif isinstance(classified, ast.Call):
+                if not classified.args:
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        "CON001",
+                        "ValueError() without a message; include the "
+                        "offending value",
+                    )
+                elif _is_static_message(classified.args[0]):
+                    yield Finding(
+                        path,
+                        node.lineno,
+                        "CON001",
+                        "ValueError message is a fixed string; interpolate "
+                        "the offending value so the error is actionable",
+                    )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                path,
+                node.lineno,
+                "CON002",
+                "bare except: catches SystemExit and KeyboardInterrupt; "
+                "name the exceptions you expect",
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _mutable_default_findings(node, path)

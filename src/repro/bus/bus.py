@@ -87,7 +87,7 @@ class Bus:
         name: str = "bus",
     ) -> None:
         if width <= 0:
-            raise ValueError("bus width must be positive")
+            raise ValueError(f"bus width must be positive, got {width}")
         self.width = width
         self.mask = (1 << width) - 1
         self.energy_model = energy_model if energy_model is not None else BusEnergyModel.on_chip()
@@ -100,7 +100,7 @@ class Bus:
     def drive(self, word: int) -> float:
         """Drive one logical word onto the bus; return the energy spent (pJ)."""
         if word < 0:
-            raise ValueError("bus words must be non-negative")
+            raise ValueError(f"bus words must be non-negative, got {word}")
         logical = word & self.mask
         physical = (self.encoder.encode(logical) & self.mask) if self.encoder else logical
         flips = hamming(self._wires, physical)
@@ -123,7 +123,7 @@ class Bus:
         """
         word_bytes = self.width // 8
         if word_bytes == 0:
-            raise ValueError("drive_bytes needs a bus at least 8 bits wide")
+            raise ValueError(f"drive_bytes needs a bus at least 8 bits wide, got {self.width}")
         energy = 0.0
         for start in range(0, len(payload), word_bytes):
             chunk = payload[start : start + word_bytes]

@@ -83,9 +83,12 @@ class CacheConfig:
             if not _is_power_of_two(getattr(self, name)):
                 raise ValueError(f"{name} must be a positive power of two")
         if self.line_size > self.size:
-            raise ValueError("line_size cannot exceed cache size")
+            raise ValueError(f"line_size {self.line_size} exceeds cache size {self.size}")
         if self.ways * self.line_size > self.size:
-            raise ValueError("ways * line_size cannot exceed cache size")
+            raise ValueError(
+                f"ways * line_size = {self.ways * self.line_size} exceeds "
+                f"cache size {self.size}"
+            )
 
     @property
     def num_sets(self) -> int:
@@ -216,7 +219,7 @@ class Cache:
     def access(self, address: int, is_write: bool = False) -> CacheAccessResult:
         """Perform one word access; return hit status and line transfers."""
         if address < 0:
-            raise ValueError("address must be non-negative")
+            raise ValueError(f"address must be non-negative, got {address}")
         self._clock += 1
         self.stats.accesses += 1
         set_index, tag = self._locate(address)

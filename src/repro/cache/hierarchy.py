@@ -72,9 +72,15 @@ class CacheHierarchy:
         energy_model: SRAMEnergyModel | None = None,
     ) -> None:
         if l2_config.line_size != l1_config.line_size:
-            raise ValueError("L1 and L2 line sizes must match")
+            raise ValueError(
+                f"L1 and L2 line sizes must match, got "
+                f"{l1_config.line_size} and {l2_config.line_size}"
+            )
         if l2_config.size < l1_config.size:
-            raise ValueError("L2 must be at least as large as L1")
+            raise ValueError(
+                f"L2 ({l2_config.size} B) must be at least as large as "
+                f"L1 ({l1_config.size} B)"
+            )
         model = energy_model if energy_model is not None else SRAMEnergyModel()
         self.l1 = Cache(l1_config, energy_model=model, name="L1")
         self.l2 = Cache(l2_config, energy_model=model, name="L2")

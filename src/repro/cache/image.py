@@ -23,9 +23,9 @@ class MemoryImage:
     def store(self, address: int, value: int, size: int = 4) -> None:
         """Write ``size`` bytes of ``value`` (little-endian) at ``address``."""
         if size not in (1, 2, 4):
-            raise ValueError("size must be 1, 2, or 4")
+            raise ValueError(f"size must be 1, 2, or 4, got {size}")
         if address < 0:
-            raise ValueError("address must be non-negative")
+            raise ValueError(f"address must be non-negative, got {address}")
         value &= (1 << (8 * size)) - 1
         for offset, byte in enumerate(value.to_bytes(size, "little")):
             word_address = (address + offset) & ~3
@@ -37,7 +37,7 @@ class MemoryImage:
     def load(self, address: int, size: int = 4) -> int:
         """Read ``size`` bytes (little-endian) from ``address``."""
         if size not in (1, 2, 4):
-            raise ValueError("size must be 1, 2, or 4")
+            raise ValueError(f"size must be 1, 2, or 4, got {size}")
         raw = bytes(self._byte_at(address + offset) for offset in range(size))
         return int.from_bytes(raw, "little")
 

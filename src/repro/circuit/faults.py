@@ -18,7 +18,7 @@ class StuckAtFault:
 
     def __post_init__(self) -> None:
         if self.stuck_value not in (0, 1):
-            raise ValueError("stuck_value must be 0 or 1")
+            raise ValueError(f"stuck_value must be 0 or 1, got {self.stuck_value}")
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.net}/sa{self.stuck_value}"
@@ -63,7 +63,7 @@ class FaultSimulator:
 
     def __init__(self, netlist: Netlist, word_width: int = 64) -> None:
         if word_width <= 0:
-            raise ValueError("word_width must be positive")
+            raise ValueError(f"word_width must be positive, got {word_width}")
         self.netlist = netlist
         self.word_width = word_width
 

@@ -43,14 +43,14 @@ class LFSR:
                 )
             taps = _MAXIMAL_TAPS[width]
         if seed == 0:
-            raise ValueError("LFSR seed must be non-zero")
+            raise ValueError(f"LFSR seed must be non-zero, got {seed}")
         if any(not 1 <= tap <= width for tap in taps):
-            raise ValueError("tap positions must be in [1, width]")
+            raise ValueError(f"tap positions must be in [1, {width}], got {taps}")
         self.width = width
         self.taps = tuple(taps)
         self.state = seed & ((1 << width) - 1)
         if self.state == 0:
-            raise ValueError("seed reduces to zero state")
+            raise ValueError(f"seed {seed:#x} reduces to zero state in {width} bits")
 
     def step(self) -> int:
         """Advance one bit; return the bit shifted out.
@@ -104,7 +104,7 @@ def weighted_patterns(
     an RNG directly — the statistics are what matter.
     """
     if not 0.0 <= weight <= 1.0:
-        raise ValueError("weight must be in [0, 1]")
+        raise ValueError(f"weight must be in [0, 1], got {weight}")
     rng = np.random.default_rng(seed)
     return [
         {net: int(rng.random() < weight) for net in inputs} for _ in range(count)

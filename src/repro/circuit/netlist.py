@@ -13,7 +13,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["GateType", "Gate", "Netlist", "and_tree", "xor_chain", "random_netlist", "c17"]
+__all__ = [
+    "GateType",
+    "Gate",
+    "Netlist",
+    "and_tree",
+    "xor_chain",
+    "two_tower",
+    "random_netlist",
+    "c17",
+]
 
 
 class GateType(enum.Enum):
@@ -89,7 +98,7 @@ class Netlist:
             if net in self.inputs or state.get(net) == 2:
                 return
             if state.get(net) == 1:
-                raise ValueError("combinational loop detected")
+                raise ValueError(f"combinational loop detected at net {net!r}")
             state[net] = 1
             gate = by_output[net]
             for source in gate.inputs:
@@ -270,7 +279,7 @@ def and_tree(width: int = 16) -> Netlist:
     random-pattern resistant (the 10C/weighted-BIST motivation).
     """
     if width < 2 or width & (width - 1):
-        raise ValueError("width must be a power of two >= 2")
+        raise ValueError(f"width must be a power of two >= 2, got {width}")
     inputs = [f"i{index}" for index in range(width)]
     gates = []
     level = list(inputs)
@@ -292,7 +301,7 @@ def and_tree(width: int = 16) -> Netlist:
 def xor_chain(width: int = 16) -> Netlist:
     """XOR chain — every fault is trivially observable (parity propagates)."""
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise ValueError(f"width must be >= 2, got {width}")
     inputs = [f"i{index}" for index in range(width)]
     gates = [Gate(GateType.XOR, "x0", (inputs[0], inputs[1]))]
     for index in range(2, width):
@@ -349,7 +358,7 @@ def two_tower(width: int = 16) -> Netlist:
     X-identification all at once.
     """
     if width < 4 or width & (width - 1):
-        raise ValueError("width must be a power of two >= 4")
+        raise ValueError(f"width must be a power of two >= 4, got {width}")
     half = width // 2
     inputs = [f"i{index}" for index in range(width)]
     gates: list[Gate] = []

@@ -28,6 +28,9 @@ Subcommands
     BIST coverage + deterministic top-up demo (EX8).
 ``phases SOURCE``
     Detect program phases in a trace.
+``lint [PATHS]``
+    Run the architecture & determinism linter over the package (or the given
+    files/directories); exit 1 if there are findings.
 """
 
 from __future__ import annotations
@@ -82,14 +85,14 @@ def _load_trace(source: str) -> Trace:
 # -- subcommand implementations ----------------------------------------------------
 
 
-def cmd_kernels(_args) -> int:
+def _cmd_kernels(_args) -> int:
     for name in kernel_names():
         program = load_kernel(name)
         print(f"{name:16s} text={program.text_size:6d}B data={program.data_size:6d}B")
     return 0
 
 
-def cmd_run(args) -> int:
+def _cmd_run(args) -> int:
     program = load_kernel(args.kernel)
     result = CPU().run(program)
     reads, writes = result.data_trace.read_write_counts()
@@ -104,12 +107,12 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_disasm(args) -> int:
+def _cmd_disasm(args) -> int:
     print(disassemble_program(load_kernel(args.kernel)), end="")
     return 0
 
 
-def cmd_profile(args) -> int:
+def _cmd_profile(args) -> int:
     trace = _load_trace(args.source)
     profile = AccessProfile(trace.data_accesses(), block_size=args.block_size)
     summary = profile.summary()
@@ -145,7 +148,7 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_optimize(args) -> int:
+def _cmd_optimize(args) -> int:
     trace = _load_trace(args.source)
     flow = optimize_memory_layout(
         trace,
@@ -173,7 +176,7 @@ def cmd_optimize(args) -> int:
     return 0
 
 
-def cmd_compress(args) -> int:
+def _cmd_compress(args) -> int:
     make = {"risc": risc_platform, "vliw": vliw_platform}[args.platform]
     program = load_kernel(args.kernel)
     base = make(None).run_program(program)
@@ -198,7 +201,7 @@ def cmd_compress(args) -> int:
     return 0
 
 
-def cmd_encode(args) -> int:
+def _cmd_encode(args) -> int:
     result = CPU().run(load_kernel(args.kernel))
     words = [event.value for event in result.instruction_trace]
     selection = TransformSelector(width=32).select(words)
@@ -221,7 +224,7 @@ def cmd_encode(args) -> int:
     return 0
 
 
-def cmd_codecomp(args) -> int:
+def _cmd_codecomp(args) -> int:
     from .codecomp import SelectiveCodeCompressor
 
     program = load_kernel(args.kernel)
@@ -246,7 +249,7 @@ def cmd_codecomp(args) -> int:
     return 0
 
 
-def cmd_bist(args) -> int:
+def _cmd_bist(args) -> int:
     from .circuit import (
         FaultSimulator,
         enumerate_faults,
@@ -282,7 +285,22 @@ def cmd_bist(args) -> int:
     return 0
 
 
-def cmd_phases(args) -> int:
+def _cmd_lint(args) -> int:
+    from .analysis import run_lint
+
+    select = None
+    if args.select:
+        select = [rule for chunk in args.select for rule in chunk.split(",")]
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        report = run_lint(paths, select=select)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return 0 if report.clean else 1
+
+
+def _cmd_phases(args) -> int:
     trace = _load_trace(args.source)
     detector = PhaseDetector(
         window=args.window, num_clusters=args.clusters, block_size=args.block_size
@@ -312,23 +330,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("kernels", help="list bundled kernels").set_defaults(func=cmd_kernels)
+    subparsers.add_parser("kernels", help="list bundled kernels").set_defaults(func=_cmd_kernels)
 
     run = subparsers.add_parser("run", help="execute a kernel on the ISS")
     run.add_argument("kernel", choices=kernel_names())
     run.add_argument("--save-trace", metavar="OUT.npz", default=None)
-    run.set_defaults(func=cmd_run)
+    run.set_defaults(func=_cmd_run)
 
     disasm = subparsers.add_parser("disasm", help="disassemble a kernel")
     disasm.add_argument("kernel", choices=kernel_names())
-    disasm.set_defaults(func=cmd_disasm)
+    disasm.set_defaults(func=_cmd_disasm)
 
     profile = subparsers.add_parser("profile", help="profile a kernel or trace file")
     profile.add_argument("source")
     profile.add_argument("--block-size", type=int, default=32)
     profile.add_argument("--top", type=int, default=10)
     profile.add_argument("--chart", action="store_true", help="render bar charts")
-    profile.set_defaults(func=cmd_profile)
+    profile.set_defaults(func=_cmd_profile)
 
     optimize = subparsers.add_parser("optimize", help="run the E1 clustering flow")
     optimize.add_argument("source")
@@ -338,36 +356,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=["identity", "frequency", "affinity", "random"],
         default="affinity",
     )
-    optimize.set_defaults(func=cmd_optimize)
+    optimize.set_defaults(func=_cmd_optimize)
 
     compress = subparsers.add_parser("compress", help="run the E2 compression comparison")
     compress.add_argument("kernel", choices=kernel_names())
     compress.add_argument("--platform", choices=["risc", "vliw"], default="risc")
     compress.add_argument("--codec", choices=sorted(_CODECS), default="differential")
-    compress.set_defaults(func=cmd_compress)
+    compress.set_defaults(func=_cmd_compress)
 
     encode = subparsers.add_parser("encode", help="run the E3 encoder scoreboard")
     encode.add_argument("kernel", choices=kernel_names())
-    encode.set_defaults(func=cmd_encode)
+    encode.set_defaults(func=_cmd_encode)
 
     codecomp = subparsers.add_parser(
         "codecomp", help="sweep selective code compression on a kernel"
     )
     codecomp.add_argument("kernel", choices=kernel_names())
-    codecomp.set_defaults(func=cmd_codecomp)
+    codecomp.set_defaults(func=_cmd_codecomp)
 
     bist = subparsers.add_parser("bist", help="BIST coverage + top-up demo (EX8)")
     bist.add_argument("--width", type=int, default=32)
     bist.add_argument("--patterns", type=int, default=512)
     bist.add_argument("--seed", type=int, default=7)
-    bist.set_defaults(func=cmd_bist)
+    bist.set_defaults(func=_cmd_bist)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the architecture & determinism linter"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the installed package)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--select", action="append", metavar="RULE,...", default=[],
+        help="restrict to the given rule ids (repeatable, comma-separated)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     phases = subparsers.add_parser("phases", help="detect program phases in a trace")
     phases.add_argument("source")
     phases.add_argument("--window", type=int, default=512)
     phases.add_argument("--clusters", type=int, default=3)
     phases.add_argument("--block-size", type=int, default=32)
-    phases.set_defaults(func=cmd_phases)
+    phases.set_defaults(func=_cmd_phases)
 
     return parser
 

@@ -35,7 +35,10 @@ class WordDictionaryCodec:
         if len(dictionary) > _MAX_DICTIONARY:
             raise ValueError(f"dictionary holds at most {_MAX_DICTIONARY} words")
         if len(set(dictionary)) != len(dictionary):
-            raise ValueError("dictionary entries must be unique")
+            raise ValueError(
+                f"dictionary entries must be unique, "
+                f"{len(dictionary) - len(set(dictionary))} duplicates found"
+            )
         for word in dictionary:
             if not 0 <= word < (1 << 32):
                 raise ValueError(f"dictionary word out of range: {word:#x}")
@@ -90,12 +93,17 @@ class WordDictionaryCodec:
         cursor = 0
         while len(words) < num_words:
             if cursor >= len(payload):
-                raise ValueError("truncated compressed block")
+                raise ValueError(
+                    f"truncated compressed block: cursor {cursor} beyond "
+                    f"{len(payload)} payload bytes"
+                )
             tag = payload[cursor]
             cursor += 1
             if tag == _ESCAPE:
                 if cursor + 4 > len(payload):
-                    raise ValueError("truncated escape word")
+                    raise ValueError(
+                        f"truncated escape word at byte {cursor} of {len(payload)}"
+                    )
                 words.append(int.from_bytes(payload[cursor : cursor + 4], "little"))
                 cursor += 4
             else:

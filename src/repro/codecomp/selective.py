@@ -135,7 +135,7 @@ class SelectiveCodeCompressor:
         icache: CacheConfig | None = None,
     ) -> None:
         if block_words <= 0:
-            raise ValueError("block_words must be positive")
+            raise ValueError(f"block_words must be positive, got {block_words}")
         self.block_words = block_words
         self.dictionary_entries = dictionary_entries
         self.decompress_cycles_per_word = decompress_cycles_per_word
@@ -168,9 +168,9 @@ class SelectiveCodeCompressor:
         (the adversarial control), or ``"all"``/``"none"`` via fraction 1/0.
         """
         if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if selection not in ("coldest", "hottest"):
-            raise ValueError("selection must be 'coldest' or 'hottest'")
+            raise ValueError(f"selection must be 'coldest' or 'hottest', got {selection!r}")
         words = program.text_words
         num_blocks = (len(words) + self.block_words - 1) // self.block_words
         order = sorted(

@@ -19,7 +19,7 @@ class BitWriter:
     def write(self, value: int, width: int) -> None:
         """Append the low ``width`` bits of ``value``, MSB first."""
         if width < 0:
-            raise ValueError("width must be non-negative")
+            raise ValueError(f"width must be non-negative, got {width}")
         if value < 0 or (width < value.bit_length()):
             raise ValueError(f"value {value} does not fit in {width} bits")
         for shift in range(width - 1, -1, -1):
@@ -28,7 +28,7 @@ class BitWriter:
     def write_bit(self, bit: int) -> None:
         """Append a single bit."""
         if bit not in (0, 1):
-            raise ValueError("bit must be 0 or 1")
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
         self._bits.append(bit)
 
     @property
@@ -55,13 +55,16 @@ class BitReader:
         self._payload = payload
         self._limit = 8 * len(payload) if bit_length is None else bit_length
         if self._limit > 8 * len(payload):
-            raise ValueError("bit_length exceeds payload size")
+            raise ValueError(
+                f"bit_length {bit_length} exceeds payload size of "
+                f"{8 * len(payload)} bits"
+            )
         self._cursor = 0
 
     def read(self, width: int) -> int:
         """Read ``width`` bits as an unsigned integer."""
         if width < 0:
-            raise ValueError("width must be non-negative")
+            raise ValueError(f"width must be non-negative, got {width}")
         if self._cursor + width > self._limit:
             raise EOFError("bit stream exhausted")
         value = 0

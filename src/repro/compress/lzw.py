@@ -29,7 +29,7 @@ class LZWCodec(LineCodec):
 
     def __init__(self, max_width: int = 12) -> None:
         if not 9 <= max_width <= 20:
-            raise ValueError("max_width must be in [9, 20]")
+            raise ValueError(f"max_width must be in [9, 20], got {max_width}")
         self.max_width = max_width
 
     def _width_for(self, highest_code: int) -> int:

@@ -62,6 +62,7 @@ class IdentityClustering(ClusteringStrategy):
     name = "identity"
 
     def build_layout(self, profile: AccessProfile) -> BlockLayout:
+        """Return the identity layout over the profile's touched blocks."""
         return BlockLayout.identity(profile)
 
 
@@ -71,6 +72,7 @@ class FrequencyClustering(ClusteringStrategy):
     name = "frequency"
 
     def build_layout(self, profile: AccessProfile) -> BlockLayout:
+        """Order blocks hottest-first."""
         counts = profile.access_counts()
         order = sorted(counts, key=lambda block: (-counts[block], block))
         return BlockLayout(order, profile.block_size, name=self.name)
@@ -98,6 +100,7 @@ class AffinityClustering(ClusteringStrategy):
     name = "affinity"
 
     def build_layout(self, profile: AccessProfile) -> BlockLayout:
+        """Cluster by affinity, order clusters by density, optionally refine."""
         counts = profile.access_counts()
         affinity = profile.affinity_matrix(window=self.window)
 
@@ -167,6 +170,7 @@ class PhaseAwareClustering(ClusteringStrategy):
     name = "phase_aware"
 
     def build_layout(self, profile: AccessProfile) -> BlockLayout:
+        """Group blocks by their dominant phase, hottest-first within a phase."""
         from ..trace.phases import PhaseDetector
 
         detector = PhaseDetector(
@@ -204,6 +208,7 @@ class RandomClustering(ClusteringStrategy):
     name = "random"
 
     def build_layout(self, profile: AccessProfile) -> BlockLayout:
+        """Return a seeded random permutation of the touched blocks."""
         rng = np.random.default_rng(self.seed)
         order = list(profile.blocks)
         rng.shuffle(order)

@@ -37,13 +37,16 @@ class BlockLayout:
 
     def __init__(self, order: Sequence[int], block_size: int, name: str = "layout") -> None:
         if block_size <= 0:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {block_size}")
         self.order = list(order)
         self.block_size = block_size
         self.name = name
         self._position = {block: position for position, block in enumerate(self.order)}
         if len(self._position) != len(self.order):
-            raise ValueError("layout order contains duplicate blocks")
+            raise ValueError(
+                f"layout order contains "
+                f"{len(self.order) - len(self._position)} duplicate blocks"
+            )
 
     @classmethod
     def identity(cls, profile: AccessProfile) -> "BlockLayout":

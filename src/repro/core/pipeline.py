@@ -29,7 +29,7 @@ from ..trace.trace import Trace
 from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
 from .layout import BlockLayout
 
-__all__ = ["FlowConfig", "FlowResult", "MemoryOptimizationFlow"]
+__all__ = ["FlowConfig", "FlowResult", "FlowVariant", "MemoryOptimizationFlow"]
 
 
 @dataclass
@@ -142,7 +142,7 @@ class MemoryOptimizationFlow:
         config = self.config
         data_trace = trace.data_accesses()
         if not len(data_trace):
-            raise ValueError("trace contains no data accesses")
+            raise ValueError(f"trace {trace.name!r} contains no data accesses")
         profile = AccessProfile(data_trace, block_size=config.block_size)
 
         identity_layout = IdentityClustering().build_layout(profile)

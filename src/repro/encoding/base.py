@@ -25,7 +25,7 @@ class BusEncoder:
 
     def __init__(self, width: int = 32) -> None:
         if width <= 0:
-            raise ValueError("width must be positive")
+            raise ValueError(f"width must be positive, got {width}")
         self.width = width
         self.mask = (1 << width) - 1
 

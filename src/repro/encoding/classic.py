@@ -33,9 +33,11 @@ class RawEncoder(BusEncoder):
     name = "raw"
 
     def encode(self, word: int) -> int:
+        """Return ``word`` unchanged (after range checking)."""
         return self._check(word)
 
     def decode(self, word: int) -> int:
+        """Return ``word`` unchanged (after range checking)."""
         return self._check(word)
 
 
@@ -45,10 +47,12 @@ class GrayEncoder(BusEncoder):
     name = "gray"
 
     def encode(self, word: int) -> int:
+        """Gray-encode ``word``."""
         word = self._check(word)
         return word ^ (word >> 1)
 
     def decode(self, word: int) -> int:
+        """Recover the logical word from its Gray code."""
         word = self._check(word)
         logical = 0
         while word:
@@ -72,7 +76,7 @@ class T0Encoder(BusEncoder):
     def __init__(self, width: int = 32, stride: int = 4) -> None:
         super().__init__(width)
         if stride <= 0:
-            raise ValueError("stride must be positive")
+            raise ValueError(f"stride must be positive, got {stride}")
         self.stride = stride
         self._previous_logical: int | None = None
         self._physical = 0
@@ -81,9 +85,11 @@ class T0Encoder(BusEncoder):
 
     @property
     def extra_wires(self) -> int:
+        """One extra physical wire: the INC line."""
         return 1
 
     def encode(self, word: int) -> int:
+        """Drive ``word``: freeze the bus on stride hits, else send it raw."""
         word = self._check(word)
         if self._previous_logical is not None and word == (
             (self._previous_logical + self.stride) & self.mask
@@ -99,6 +105,7 @@ class T0Encoder(BusEncoder):
         return self._physical
 
     def decode(self, word: int) -> int:
+        """Reconstruct the logical word at the receiver."""
         # Receiver-side reconstruction mirrors encode(): it tracks the same
         # previous logical word and the INC wire state set by the encoder.
         if self._inc_wire and self._previous_logical is not None:
@@ -106,6 +113,7 @@ class T0Encoder(BusEncoder):
         return self._check(word)
 
     def reset(self) -> None:
+        """Clear stride history, the INC wire, and the transition counter."""
         self._previous_logical = None
         self._physical = 0
         self._inc_wire = 0
@@ -128,18 +136,21 @@ class XorDiffEncoder(BusEncoder):
         self._dec_previous = 0
 
     def encode(self, word: int) -> int:
+        """Emit ``word XOR previous``; update encoder-side history."""
         word = self._check(word)
         physical = word ^ self._enc_previous
         self._enc_previous = word
         return physical
 
     def decode(self, word: int) -> int:
+        """Recover the logical word; update decoder-side history."""
         word = self._check(word)
         logical = word ^ self._dec_previous
         self._dec_previous = logical
         return logical
 
     def reset(self) -> None:
+        """Zero the previous-word state at both ends."""
         self._enc_previous = 0
         self._dec_previous = 0
 
@@ -162,9 +173,11 @@ class BusInvertEncoder(BusEncoder):
 
     @property
     def extra_wires(self) -> int:
+        """One extra physical wire: the polarity line."""
         return 1
 
     def encode(self, word: int) -> int:
+        """Drive ``word`` or its complement, whichever flips fewer wires."""
         word = self._check(word)
         flips = bin(self._physical ^ word).count("1")
         if flips > self.width // 2:
@@ -180,10 +193,12 @@ class BusInvertEncoder(BusEncoder):
         return physical
 
     def decode(self, word: int) -> int:
+        """Undo the inversion indicated by the polarity wire."""
         word = self._check(word)
         return word ^ self.mask if self._polarity else word
 
     def reset(self) -> None:
+        """Clear bus state, the polarity wire, and the transition counter."""
         self._physical = 0
         self._polarity = 0
         self.extra_transitions = 0

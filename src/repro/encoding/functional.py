@@ -77,7 +77,10 @@ class FunctionalEncoder(BusEncoder):
 
     def _validate_partners(self) -> None:
         if len(self.partners) != self.width:
-            raise ValueError("partner table length must equal bus width")
+            raise ValueError(
+                f"partner table has {len(self.partners)} entries for a "
+                f"{self.width}-bit bus"
+            )
         for bit, partner in enumerate(self.partners):
             if partner == -1:
                 continue
@@ -146,6 +149,7 @@ class FunctionalEncoder(BusEncoder):
     # -- encoder protocol --------------------------------------------------------
 
     def encode(self, word: int) -> int:
+        """Apply the XOR transform (plus temporal XOR when enabled)."""
         word = self._check(word)
         physical = self._transform(word)
         if self.xor_previous:
@@ -153,6 +157,7 @@ class FunctionalEncoder(BusEncoder):
         return physical
 
     def decode(self, word: int) -> int:
+        """Invert the transform; triangularity guarantees exact recovery."""
         word = self._check(word)
         if self.xor_previous:
             word ^= self._dec_previous
@@ -160,6 +165,7 @@ class FunctionalEncoder(BusEncoder):
         return self._inverse_transform(word)
 
     def reset(self) -> None:
+        """Zero the temporal-XOR state at both ends."""
         self._enc_previous = 0
         self._dec_previous = 0
 

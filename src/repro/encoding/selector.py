@@ -68,7 +68,7 @@ class TransformSelector:
         train_fraction: float = 0.5,
     ) -> None:
         if not 0.0 < train_fraction <= 1.0:
-            raise ValueError("train_fraction must be in (0, 1]")
+            raise ValueError(f"train_fraction must be in (0, 1], got {train_fraction}")
         self.width = width
         self.include_functional = include_functional
         self.train_fraction = train_fraction
@@ -76,7 +76,10 @@ class TransformSelector:
     def select(self, words: list[int]) -> SelectionResult:
         """Evaluate the family on ``words``; return the minimum-transition encoder."""
         if not words:
-            raise ValueError("cannot select a transform for an empty stream")
+            raise ValueError(
+                f"cannot select a transform for an empty stream "
+                f"(words={words!r})"
+            )
         candidates = default_candidates(self.width)
         if self.include_functional:
             cut = max(1, int(len(words) * self.train_fraction))

@@ -71,7 +71,7 @@ class CPU:
 
     def __init__(self, memory_size: int = 1 << 20, trace_values: bool = True) -> None:
         if memory_size <= 0:
-            raise ValueError("memory_size must be positive")
+            raise ValueError(f"memory_size must be positive, got {memory_size}")
         self.memory_size = memory_size
         self.trace_values = trace_values
         self.memory = bytearray(memory_size)

@@ -196,7 +196,7 @@ def encode(instruction: Instruction) -> int:
     fmt = instruction.format
     if fmt is Format.R:
         if instruction.funct is None:
-            raise ValueError("R-type instruction requires a funct code")
+            raise ValueError(f"R-type instruction requires a funct code: {instruction!r}")
         word |= (instruction.rd & 0x1F) << 21
         word |= (instruction.rs1 & 0x1F) << 16
         word |= (instruction.rs2 & 0x1F) << 11

@@ -37,9 +37,9 @@ class MemoryBank:
 
     def __post_init__(self) -> None:
         if self.size <= 0:
-            raise ValueError("bank size must be positive")
+            raise ValueError(f"bank size must be positive, got {self.size}")
         if self.base < 0:
-            raise ValueError("bank base must be non-negative")
+            raise ValueError(f"bank base must be non-negative, got {self.base}")
 
     @property
     def limit(self) -> int:

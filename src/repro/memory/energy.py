@@ -69,9 +69,9 @@ class SRAMEnergyModel:
     def read_energy(self, capacity_bytes: int, word_bytes: int = 4) -> float:
         """Energy (pJ) of one read from an SRAM of ``capacity_bytes``."""
         if capacity_bytes <= 0:
-            raise ValueError("capacity_bytes must be positive")
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
         if word_bytes <= 0:
-            raise ValueError("word_bytes must be positive")
+            raise ValueError(f"word_bytes must be positive, got {word_bytes}")
         bits = capacity_bytes * 8
         words = max(1, capacity_bytes // word_bytes)
         array_term = self.e_array * math.sqrt(bits)
@@ -85,7 +85,7 @@ class SRAMEnergyModel:
     def leakage_energy(self, capacity_bytes: int, cycles: int, cycle_time_ns: float = 10.0) -> float:
         """Leakage energy (pJ) of the array over ``cycles`` clock cycles."""
         if cycles < 0:
-            raise ValueError("cycles must be non-negative")
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
         bits = capacity_bytes * 8
         # pW * ns = 1e-21 J = 1e-9 pJ
         return bits * self.leakage_pw_per_bit * cycles * cycle_time_ns * 1e-9
@@ -105,7 +105,7 @@ class DRAMEnergyModel:
     def access_energy(self, num_bytes: int) -> float:
         """Energy (pJ) of transferring ``num_bytes`` in one burst."""
         if num_bytes < 0:
-            raise ValueError("num_bytes must be non-negative")
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
         if num_bytes == 0:
             return 0.0
         return self.e_activation + self.e_per_byte * num_bytes
@@ -135,7 +135,7 @@ class BusEnergyModel:
     def energy(self, transitions: int) -> float:
         """Energy (pJ) of ``transitions`` bit toggles."""
         if transitions < 0:
-            raise ValueError("transitions must be non-negative")
+            raise ValueError(f"transitions must be non-negative, got {transitions}")
         return self.e_per_transition * transitions
 
 
@@ -155,7 +155,7 @@ class DecoderEnergyModel:
     def access_energy(self, num_banks: int) -> float:
         """Energy (pJ) added to each access by the bank decoder."""
         if num_banks <= 0:
-            raise ValueError("num_banks must be positive")
+            raise ValueError(f"num_banks must be positive, got {num_banks}")
         if num_banks == 1:
             return 0.0
         return self.e_per_select_bit * math.log2(num_banks) + self.e_per_bank_wire * num_banks

@@ -39,7 +39,7 @@ class MainMemory:
         """Record a burst read of ``num_bytes`` (default line size); return pJ."""
         size = self.line_bytes if num_bytes is None else num_bytes
         if size < 0:
-            raise ValueError("num_bytes must be non-negative")
+            raise ValueError(f"num_bytes must be non-negative, got {size}")
         self.reads += 1
         self.bytes_read += size
         delta = self.model.access_energy(size)
@@ -50,7 +50,7 @@ class MainMemory:
         """Record a burst write of ``num_bytes`` (default line size); return pJ."""
         size = self.line_bytes if num_bytes is None else num_bytes
         if size < 0:
-            raise ValueError("num_bytes must be non-negative")
+            raise ValueError(f"num_bytes must be non-negative, got {size}")
         self.writes += 1
         self.bytes_written += size
         delta = self.model.access_energy(size)

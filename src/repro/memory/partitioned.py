@@ -20,7 +20,12 @@ from ..trace.trace import Trace
 from .bank import MemoryBank
 from .energy import DecoderEnergyModel, SRAMEnergyModel
 
-__all__ = ["PartitionedMemory", "MonolithicMemory", "AccessOutsideMemoryError"]
+__all__ = [
+    "PartitionedMemory",
+    "MonolithicMemory",
+    "MemoryEnergyReport",
+    "AccessOutsideMemoryError",
+]
 
 
 class AccessOutsideMemoryError(LookupError):
@@ -65,7 +70,7 @@ class PartitionedMemory:
     ) -> None:
         sizes = list(bank_sizes)
         if not sizes:
-            raise ValueError("at least one bank is required")
+            raise ValueError(f"at least one bank is required, got bank_sizes={sizes!r}")
         self.base = base
         self.sram_model = sram_model if sram_model is not None else SRAMEnergyModel()
         self.decoder_model = decoder_model if decoder_model is not None else DecoderEnergyModel()

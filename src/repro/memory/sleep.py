@@ -44,11 +44,13 @@ class SleepPolicy:
 
     def __post_init__(self) -> None:
         if self.timeout_cycles < 0:
-            raise ValueError("timeout_cycles must be non-negative")
+            raise ValueError(
+                f"timeout_cycles must be non-negative, got {self.timeout_cycles}"
+            )
         if not 0.0 <= self.sleep_factor <= 1.0:
-            raise ValueError("sleep_factor must be in [0, 1]")
+            raise ValueError(f"sleep_factor must be in [0, 1], got {self.sleep_factor}")
         if self.wake_energy < 0:
-            raise ValueError("wake_energy must be non-negative")
+            raise ValueError(f"wake_energy must be non-negative, got {self.wake_energy}")
 
 
 @dataclass
@@ -88,7 +90,10 @@ def simulate_bank_sleep(
     ``i`` (contiguous, ascending).  Timestamps in the trace are cycles.
     """
     if len(bank_sizes) != len(bank_bases):
-        raise ValueError("bank_sizes and bank_bases must align")
+        raise ValueError(
+            f"bank_sizes ({len(bank_sizes)}) and bank_bases "
+            f"({len(bank_bases)}) must align"
+        )
     if sram_model is None:
         sram_model = SRAMEnergyModel()
     if not len(layout_trace):

@@ -58,9 +58,12 @@ class PartitionCostModel:
         self.reads = np.asarray(self.reads, dtype=np.int64)
         self.writes = np.asarray(self.writes, dtype=np.int64)
         if self.reads.shape != self.writes.shape:
-            raise ValueError("reads and writes must have the same length")
+            raise ValueError(
+                f"reads {self.reads.shape} and writes {self.writes.shape} "
+                f"must have the same length"
+            )
         if self.block_size <= 0:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
         self._read_prefix = np.concatenate([[0], np.cumsum(self.reads)])
         self._write_prefix = np.concatenate([[0], np.cumsum(self.writes)])
 

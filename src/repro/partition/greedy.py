@@ -18,7 +18,7 @@ class EvenPartitioner:
 
     def __init__(self, num_banks: int) -> None:
         if num_banks <= 0:
-            raise ValueError("num_banks must be positive")
+            raise ValueError(f"num_banks must be positive, got {num_banks}")
         self.num_banks = num_banks
 
     def partition(self, cost_model: PartitionCostModel) -> PartitionResult:
@@ -48,9 +48,9 @@ class GreedyPartitioner:
 
     def __init__(self, max_banks: int = 8, scan_stride: int = 1) -> None:
         if max_banks <= 0:
-            raise ValueError("max_banks must be positive")
+            raise ValueError(f"max_banks must be positive, got {max_banks}")
         if scan_stride <= 0:
-            raise ValueError("scan_stride must be positive")
+            raise ValueError(f"scan_stride must be positive, got {scan_stride}")
         self.max_banks = max_banks
         self.scan_stride = scan_stride
 

@@ -61,9 +61,12 @@ class OptimalPartitioner:
 
     def __init__(self, max_banks: int = 8, max_dp_cells: int = 256) -> None:
         if max_banks <= 0:
-            raise ValueError("max_banks must be positive")
+            raise ValueError(f"max_banks must be positive, got {max_banks}")
         if max_dp_cells < max_banks:
-            raise ValueError("max_dp_cells must be at least max_banks")
+            raise ValueError(
+                f"max_dp_cells ({max_dp_cells}) must be at least "
+                f"max_banks ({max_banks})"
+            )
         self.max_banks = max_banks
         self.max_dp_cells = max_dp_cells
 

@@ -16,7 +16,7 @@ __all__ = ["PartitionSpec"]
 
 def _round_up_pow2(value: int) -> int:
     if value <= 0:
-        raise ValueError("value must be positive")
+        raise ValueError(f"value must be positive, got {value}")
     return 1 << (value - 1).bit_length()
 
 
@@ -44,11 +44,16 @@ class PartitionSpec:
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
         if not self.bank_blocks:
-            raise ValueError("at least one bank required")
+            raise ValueError(
+                f"at least one bank required, got bank_blocks={self.bank_blocks!r}"
+            )
         if any(blocks <= 0 for blocks in self.bank_blocks):
-            raise ValueError("every bank must hold at least one block")
+            raise ValueError(
+                f"every bank must hold at least one block, got "
+                f"{self.bank_blocks!r}"
+            )
 
     @property
     def num_banks(self) -> int:

@@ -40,7 +40,14 @@ from ..memory.mainmem import MainMemory
 from ..trace.trace import Trace
 from .breakdown import EnergyBreakdown
 
-__all__ = ["PlatformConfig", "PlatformReport", "Platform", "risc_platform", "vliw_platform"]
+__all__ = [
+    "PlatformConfig",
+    "PlatformReport",
+    "Platform",
+    "default_codec",
+    "risc_platform",
+    "vliw_platform",
+]
 
 
 @dataclass

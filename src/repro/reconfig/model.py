@@ -66,7 +66,7 @@ class Kernel:
 
     def __post_init__(self) -> None:
         if self.context < 0:
-            raise ValueError("context id must be non-negative")
+            raise ValueError(f"context id must be non-negative, got {self.context}")
         names = [ds.name for ds in self.data_sets]
         if len(names) != len(set(names)):
             raise ValueError(f"kernel {self.name!r}: duplicate data set names")
@@ -81,7 +81,9 @@ class Application:
 
     def __post_init__(self) -> None:
         if not self.kernels:
-            raise ValueError("application must contain at least one kernel")
+            raise ValueError(
+                f"application {self.name!r} must contain at least one kernel"
+            )
 
     @property
     def num_contexts(self) -> int:
@@ -108,11 +110,14 @@ class ReconfigArchitecture:
 
     def __post_init__(self) -> None:
         if self.l0_size <= 0:
-            raise ValueError("l0_size must be positive")
+            raise ValueError(f"l0_size must be positive, got {self.l0_size}")
         if self.context_slots <= 0:
-            raise ValueError("context_slots must be positive")
+            raise ValueError(f"context_slots must be positive, got {self.context_slots}")
         if self.e_l0_access >= self.e_l1_access:
-            raise ValueError("L0 must be cheaper per access than L1")
+            raise ValueError(
+                f"L0 access energy ({self.e_l0_access}) must be cheaper "
+                f"than L1 ({self.e_l1_access})"
+            )
 
 
 @dataclass

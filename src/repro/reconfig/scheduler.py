@@ -41,7 +41,10 @@ class Schedule:
 
     def __post_init__(self) -> None:
         if len(self.order) != len(self.l0_placements):
-            raise ValueError("order and l0_placements must have equal length")
+            raise ValueError(
+                f"order ({len(self.order)}) and l0_placements "
+                f"({len(self.l0_placements)}) must have equal length"
+            )
 
 
 def evaluate_schedule(
@@ -59,7 +62,10 @@ def evaluate_schedule(
     transfer when they leave L0 (or at the end).
     """
     if sorted(schedule.order) != list(range(len(application.kernels))):
-        raise ValueError("schedule order must be a permutation of kernel indices")
+        raise ValueError(
+            f"schedule order {schedule.order!r} must be a permutation of "
+            f"0..{len(application.kernels) - 1}"
+        )
     energy = ScheduleEnergy()
     resident_contexts: list[int] = []
     l0_resident: dict[str, DataSet] = {}

@@ -40,7 +40,7 @@ def bar_chart(
     if not pairs:
         return ""
     if width <= 0:
-        raise ValueError("width must be positive")
+        raise ValueError(f"width must be positive, got {width}")
     peak = max(value for _, value in pairs)
     label_width = max(len(label) for label, _ in pairs)
     lines = []
@@ -62,7 +62,7 @@ def histogram(
     if not values:
         return ""
     if bins <= 0:
-        raise ValueError("bins must be positive")
+        raise ValueError(f"bins must be positive, got {bins}")
     low, high = min(values), max(values)
     if high == low:
         return bar_chart({f"{low:g}": float(len(values))}, width=width)

@@ -30,7 +30,9 @@ def render_table(
     widths = [len(header) for header in headers]
     for row in text_rows:
         if len(row) != len(headers):
-            raise ValueError("row length does not match headers")
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
 

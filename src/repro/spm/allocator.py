@@ -39,7 +39,7 @@ class SPMConfig:
 
     def __post_init__(self) -> None:
         if self.size <= 0:
-            raise ValueError("SPM size must be positive")
+            raise ValueError(f"SPM size must be positive, got {self.size}")
 
     def access_energy(self) -> float:
         """Energy (pJ) of one SPM access (reads ≈ writes at this size)."""
@@ -80,7 +80,9 @@ class SPMAllocator:
 
     def __init__(self, config: SPMConfig, cache_path_energy: float = 12.0) -> None:
         if cache_path_energy <= 0:
-            raise ValueError("cache_path_energy must be positive")
+            raise ValueError(
+                f"cache_path_energy must be positive, got {cache_path_energy}"
+            )
         self.config = config
         self.cache_path_energy = cache_path_energy
 

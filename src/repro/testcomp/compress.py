@@ -22,7 +22,10 @@ def pack_test_set(test_set: TestSet) -> bytes:
     for pattern in test_set.patterns:
         for bit in pattern.bits:
             if bit not in (0, 1):
-                raise ValueError("pack_test_set requires a filled (X-free) test set")
+                raise ValueError(
+                    f"pack_test_set requires a filled (X-free) test set, "
+                    f"found bit {bit!r}"
+                )
             bits.append(bit)
     out = bytearray()
     for start in range(0, len(bits), 8):
@@ -47,7 +50,7 @@ def unpack_test_set(payload: bytes, num_patterns: int, num_cells: int) -> TestSe
         if len(bits) == needed:
             break
     if len(bits) < needed:
-        raise ValueError("payload too short for the requested geometry")
+        raise ValueError(f"payload provides {len(bits)} bits but {needed} are needed")
     patterns = []
     for index in range(num_patterns):
         start = index * num_cells

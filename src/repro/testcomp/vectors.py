@@ -29,7 +29,10 @@ class TestPattern:
 
     def __post_init__(self) -> None:
         if any(bit not in (ZERO, ONE, DONT_CARE) for bit in self.bits):
-            raise ValueError("pattern bits must be 0, 1, or 2 (don't-care)")
+            raise ValueError(
+                f"pattern bits must be 0, 1, or 2 (don't-care), got "
+                f"{sorted(set(self.bits) - {ZERO, ONE, DONT_CARE})!r}"
+            )
 
     def __len__(self) -> int:
         return len(self.bits)
@@ -64,10 +67,13 @@ class TestSet:
 
     def __post_init__(self) -> None:
         if not self.patterns:
-            raise ValueError("test set must hold at least one pattern")
+            raise ValueError(f"test set must hold at least one pattern, got {self.patterns!r}")
         width = len(self.patterns[0])
         if any(len(pattern) != width for pattern in self.patterns):
-            raise ValueError("all patterns must have equal length")
+            raise ValueError(
+                f"all patterns must have length {width}, got lengths "
+                f"{sorted({len(pattern) for pattern in self.patterns})}"
+            )
 
     @property
     def num_patterns(self) -> int:
@@ -98,7 +104,7 @@ def random_test_set(
 ) -> TestSet:
     """Uniformly scattered care bits (the pessimistic structure)."""
     if not 0.0 <= care_density <= 1.0:
-        raise ValueError("care_density must be in [0, 1]")
+        raise ValueError(f"care_density must be in [0, 1], got {care_density}")
     rng = np.random.default_rng(seed)
     patterns = []
     for _ in range(num_patterns):
@@ -125,9 +131,9 @@ def clustered_test_set(
     clumps rather than uniformly.
     """
     if not 0.0 <= care_density <= 1.0:
-        raise ValueError("care_density must be in [0, 1]")
+        raise ValueError(f"care_density must be in [0, 1], got {care_density}")
     if cluster_span <= 0:
-        raise ValueError("cluster_span must be positive")
+        raise ValueError(f"cluster_span must be positive, got {cluster_span}")
     rng = np.random.default_rng(seed)
     target_cares = int(care_density * num_cells)
     patterns = []

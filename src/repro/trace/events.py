@@ -109,7 +109,7 @@ class MemoryAccess:
     def block(self, block_size: int) -> int:
         """Index of the memory block of ``block_size`` bytes containing this access."""
         if block_size <= 0:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {block_size}")
         return self.address // block_size
 
     def with_address(self, address: int) -> "MemoryAccess":

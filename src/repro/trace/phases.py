@@ -92,13 +92,13 @@ class PhaseDetector:
         min_improvement: float = 0.25,
     ) -> None:
         if window <= 0:
-            raise ValueError("window must be positive")
+            raise ValueError(f"window must be positive, got {window}")
         if num_clusters <= 0:
-            raise ValueError("num_clusters must be positive")
+            raise ValueError(f"num_clusters must be positive, got {num_clusters}")
         if top_blocks <= 0:
-            raise ValueError("top_blocks must be positive")
+            raise ValueError(f"top_blocks must be positive, got {top_blocks}")
         if not 0.0 <= min_improvement < 1.0:
-            raise ValueError("min_improvement must be in [0, 1)")
+            raise ValueError(f"min_improvement must be in [0, 1), got {min_improvement}")
         self.window = window
         self.num_clusters = num_clusters
         self.top_blocks = top_blocks

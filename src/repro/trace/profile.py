@@ -92,7 +92,7 @@ class AccessProfile:
 
     def __init__(self, trace: Trace, block_size: int = 32) -> None:
         if block_size <= 0:
-            raise ValueError("block_size must be positive")
+            raise ValueError(f"block_size must be positive, got {block_size}")
         self.block_size = block_size
         self.trace = trace
         self._stats: dict[int, BlockStats] = {}
@@ -202,7 +202,7 @@ class AccessProfile:
         material of address clustering.
         """
         if window <= 1:
-            raise ValueError("window must be > 1")
+            raise ValueError(f"window must be > 1, got {window}")
         affinity: dict[tuple[int, int], int] = {}
         recent: list[int] = []
         for block in self._sequence:

@@ -37,9 +37,9 @@ class SystematicSampler:
 
     def __post_init__(self) -> None:
         if self.period <= 0:
-            raise ValueError("period must be positive")
+            raise ValueError(f"period must be positive, got {self.period}")
         if not 0 <= self.offset < self.period:
-            raise ValueError("offset must be in [0, period)")
+            raise ValueError(f"offset must be in [0, {self.period}), got {self.offset}")
 
     @property
     def rate(self) -> float:
@@ -65,9 +65,11 @@ class IntervalSampler:
 
     def __post_init__(self) -> None:
         if self.window <= 0:
-            raise ValueError("window must be positive")
+            raise ValueError(f"window must be positive, got {self.window}")
         if self.period < self.window:
-            raise ValueError("period must be at least window")
+            raise ValueError(
+                f"period ({self.period}) must be at least window ({self.window})"
+            )
 
     @property
     def rate(self) -> float:
@@ -87,7 +89,7 @@ class IntervalSampler:
 def scale_counts(sampled_counts: dict[int, int], rate: float) -> dict[int, float]:
     """Rescale sampled per-block counts to full-trace magnitudes."""
     if not 0 < rate <= 1:
-        raise ValueError("rate must be in (0, 1]")
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
     return {block: count / rate for block, count in sampled_counts.items()}
 
 

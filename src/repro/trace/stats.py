@@ -66,7 +66,7 @@ def address_entropy(trace: Trace, block_size: int = 32) -> float:
     bank captures more traffic.
     """
     if block_size <= 0:
-        raise ValueError("block_size must be positive")
+        raise ValueError(f"block_size must be positive, got {block_size}")
     counts: Counter = Counter(event.block(block_size) for event in trace)
     total = sum(counts.values())
     if total == 0:
@@ -87,7 +87,7 @@ def region_transition_matrix(
     that moved between those regions (self-transitions included).
     """
     if region_size <= 0:
-        raise ValueError("region_size must be positive")
+        raise ValueError(f"region_size must be positive, got {region_size}")
     matrix: dict[tuple[int, int], int] = {}
     previous = None
     for event in trace:

@@ -31,6 +31,7 @@ from .trace import Trace
 __all__ = [
     "StridedSweepGenerator",
     "HotColdGenerator",
+    "ScatteredHotGenerator",
     "LoopNestGenerator",
     "MarkovRegionGenerator",
     "ValueTraceGenerator",
@@ -243,7 +244,10 @@ class ScatteredHotGenerator:
     def generate(self) -> Trace:
         """Produce the trace."""
         if not 0 < self.num_hot <= self.num_blocks:
-            raise ValueError("need 0 < num_hot <= num_blocks")
+            raise ValueError(
+                f"need 0 < num_hot <= num_blocks, got num_hot={self.num_hot}, "
+                f"num_blocks={self.num_blocks}"
+            )
         rng = np.random.default_rng(self.seed)
         hot_blocks = rng.choice(self.num_blocks, size=self.num_hot, replace=False)
         weights = np.ones(self.num_blocks)
@@ -287,7 +291,7 @@ class ValueTraceGenerator:
     def generate(self) -> Trace:
         """Produce the trace."""
         if not 0.0 <= self.smoothness <= 1.0:
-            raise ValueError("smoothness must be in [0, 1]")
+            raise ValueError(f"smoothness must be in [0, 1], got {self.smoothness}")
         rng = np.random.default_rng(self.seed)
         events = []
         time = 0

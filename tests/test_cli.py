@@ -90,3 +90,54 @@ class TestCodecompCommand:
         assert main(["bist", "--width", "16", "--patterns", "128"]) == 0
         out = capsys.readouterr().out
         assert "coverage" in out and "BIST" in out
+
+
+class TestLintCommand:
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Docs."""\n\n__all__ = ["f"]\n\n\ndef f(x):\n    """Docs."""\n    return x\n')
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text('def f(x):\n    raise ValueError("static")\n')
+        assert main(["lint", str(dirty), "--select", "CON001"]) == 1
+        out = capsys.readouterr().out
+        assert "CON001" in out and "dirty.py:2" in out
+
+    def test_lint_installed_package_is_clean(self, capsys):
+        # The product surface of the self-check: the shipped package lints
+        # clean with no arguments.
+        assert main(["lint"]) == 0
+
+    def test_lint_json_schema_round_trips(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text('def f(x):\n    raise ValueError("static")\n')
+        assert main(["lint", str(dirty), "--format", "json", "--select", "CON001"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        [finding] = payload["findings"]
+        assert finding["rule"] == "CON001"
+        assert finding["name"] == "valueerror-without-value"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 2
+        assert isinstance(finding["message"], str) and finding["message"]
+        assert "CON001" in payload["rules"]
+
+    def test_lint_select_multiple_rules(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text('def f(x, b=[]):\n    raise ValueError("static")\n')
+        assert main(["lint", str(dirty), "--select", "CON001,CON003"]) == 1
+        out = capsys.readouterr().out
+        assert "CON001" in out and "CON003" in out
+
+    def test_lint_unknown_rule_exits_with_error(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("")
+        with pytest.raises(SystemExit, match="BOGUS"):
+            main(["lint", str(target), "--select", "BOGUS"])
