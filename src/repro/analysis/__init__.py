@@ -2,9 +2,9 @@
 
 This package machine-enforces the invariants ARCHITECTURE.md documents —
 the layering diagram, the determinism policy, the error-handling
-conventions, and public-API hygiene — by parsing the package with
-:mod:`ast`.  It is a *leaf*: it imports nothing from the rest of ``repro``,
-so it can lint a broken tree.
+conventions, public-API hygiene, and the units-and-dimensions convention —
+by parsing the package with :mod:`ast`.  It is a *leaf*: it imports nothing
+from the rest of ``repro``, so it can lint a broken tree.
 
 Usage::
 
@@ -22,6 +22,8 @@ checks.
 from .imports import REPRO_LAYER_MODEL, ImportEdge, LayerModel, extract_imports
 from .rules import RULES, Finding, Rule, SourceModule, load_module
 from .runner import LintReport, run_lint
+from .unitmodel import REPRO_UNIT_MODEL, FunctionUnits, Unit, UnitModel
+from .units import SuffixSuggestion, check_units, suggest_suffix_renames
 
 __all__ = [
     "run_lint",
@@ -35,4 +37,11 @@ __all__ = [
     "REPRO_LAYER_MODEL",
     "ImportEdge",
     "extract_imports",
+    "Unit",
+    "UnitModel",
+    "FunctionUnits",
+    "REPRO_UNIT_MODEL",
+    "check_units",
+    "suggest_suffix_renames",
+    "SuffixSuggestion",
 ]

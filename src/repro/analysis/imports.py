@@ -6,8 +6,8 @@ declares the technique-to-technique edges that are allowed to exist.  The
 checks then reduce to set membership:
 
 * a **substrate** package (``trace``, ``memory``, ``bus``, ``cache``, ``isa``,
-  ``compress``) may import other substrate packages but never a technique or
-  top-layer package (``LAY001``);
+  ``compress``, the ``units`` helper module) may import other substrate
+  packages but never a technique or top-layer package (``LAY001``);
 * a **technique** package may import substrate freely, but another technique
   only along a declared edge of the DAG — anything else is a back-edge
   (``LAY002``);
@@ -83,7 +83,7 @@ class LayerModel:
 #: platforms and the EX7 test-compression flow.
 REPRO_LAYER_MODEL = LayerModel(
     root="repro",
-    substrate=frozenset({"trace", "memory", "bus", "cache", "isa", "compress"}),
+    substrate=frozenset({"trace", "memory", "bus", "cache", "isa", "compress", "units"}),
     techniques=frozenset(
         {
             "core",

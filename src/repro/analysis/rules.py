@@ -20,6 +20,11 @@ Rule families
 ``API``
     Public-surface hygiene — ``__all__`` consistency and docstrings
     (see :mod:`repro.analysis.api`).
+``UNT``
+    Units and dimensions — every energy/cycle/bit computation carries a
+    consistent physical unit, inferred by dataflow from the suffix
+    convention and the unit registry
+    (see :mod:`repro.analysis.units` and :mod:`repro.analysis.unitmodel`).
 ``SYN``
     Files the linter could not parse at all.
 """
@@ -118,6 +123,42 @@ RULES: dict[str, Rule] = _registry(
     Rule("API001", "all-drift", "__all__ names a symbol the module does not define", "module"),
     Rule("API002", "missing-from-all", "public definition missing from __all__", "module"),
     Rule("API003", "missing-docstring", "public function or class without a docstring", "module"),
+    Rule(
+        "UNT001",
+        "dimension-add-mismatch",
+        "adding quantities of incompatible physical dimensions",
+        "module",
+    ),
+    Rule(
+        "UNT002",
+        "dimension-compare-mismatch",
+        "comparing quantities of incompatible physical dimensions",
+        "module",
+    ),
+    Rule(
+        "UNT003",
+        "magnitude-mixing",
+        "mixing magnitudes of one dimension (pJ vs nJ) without a conversion helper",
+        "module",
+    ),
+    Rule(
+        "UNT004",
+        "bit-byte-conflation",
+        "mixing bits and bytes without an explicit conversion",
+        "module",
+    ),
+    Rule(
+        "UNT005",
+        "parameter-unit-mismatch",
+        "dimensioned value passed to a parameter declared with a different unit",
+        "module",
+    ),
+    Rule(
+        "UNT006",
+        "unitless-literal",
+        "unitless literal folded into dimensioned arithmetic outside the allowlist",
+        "module",
+    ),
 )
 
 

@@ -31,10 +31,11 @@ from .conventions import check_conventions
 from .determinism import check_determinism
 from .imports import REPRO_LAYER_MODEL, LayerModel, check_layering
 from .rules import ALL_RULES, RULES, Finding, SourceModule, load_module, parse_pragmas
+from .units import check_units
 
 __all__ = ["LintReport", "run_lint", "collect_files", "default_target"]
 
-_MODULE_CHECKS = (check_determinism, check_conventions, check_api)
+_MODULE_CHECKS = (check_determinism, check_conventions, check_api, check_units)
 
 
 @dataclass
@@ -50,26 +51,45 @@ class LintReport:
         """True when the run produced no findings."""
         return not self.findings
 
-    def render_text(self) -> str:
-        """Human-readable report: one line per finding plus a summary."""
+    def statistics(self) -> dict[str, int]:
+        """Per-rule finding counts, sorted by rule id (zero-count rules omitted)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self, statistics: bool = False) -> str:
+        """Human-readable report: one line per finding plus a summary.
+
+        With ``statistics`` a per-rule count block (rule id, name, count) is
+        appended — the ``repro lint --statistics`` output CI logs rely on.
+        """
         lines = [finding.render() for finding in self.findings]
         noun = "finding" if len(self.findings) == 1 else "findings"
         lines.append(
             f"{len(self.findings)} {noun} in {self.files_scanned} files scanned"
         )
+        if statistics:
+            for rule, count in self.statistics().items():
+                name = RULES[rule].name if rule in RULES else rule
+                lines.append(f"{rule} ({name}): {count}")
         return "\n".join(lines)
 
-    def to_json(self) -> str:
-        """Machine-readable report with a stable, versioned schema."""
-        return json.dumps(
-            {
-                "version": 1,
-                "files_scanned": self.files_scanned,
-                "findings": [finding.to_dict() for finding in self.findings],
-                "rules": self.rules,
-            },
-            indent=2,
-        )
+    def to_json(self, statistics: bool = False) -> str:
+        """Machine-readable report with a stable, versioned schema.
+
+        ``statistics`` adds a ``"statistics"`` object mapping rule id to
+        finding count — additive, so the schema version stays 1.
+        """
+        payload = {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "rules": self.rules,
+        }
+        if statistics:
+            payload["statistics"] = self.statistics()
+        return json.dumps(payload, indent=2)
 
 
 def default_target() -> Path:
@@ -93,8 +113,19 @@ def collect_files(paths: Sequence[Path]) -> list[Path]:
 def _validated_selection(select: Iterable[str] | None) -> set[str] | None:
     if select is None:
         return None
-    selection = {rule.strip().upper() for rule in select if rule.strip()}
-    unknown = selection - set(RULES)
+    requested = {rule.strip().upper() for rule in select if rule.strip()}
+    selection: set[str] = set()
+    unknown: set[str] = set()
+    for item in requested:
+        if item in RULES:
+            selection.add(item)
+            continue
+        # A bare family prefix ("UNT", "LAY") selects the whole family.
+        family = {rule for rule in RULES if rule.startswith(item)}
+        if family:
+            selection.update(family)
+        else:
+            unknown.add(item)
     if unknown:
         raise ValueError(
             f"unknown rule ids {sorted(unknown)}; known rules: {sorted(RULES)}"
@@ -118,8 +149,9 @@ def run_lint(
 ) -> LintReport:
     """Lint ``paths`` (default: the installed package) and return a report.
 
-    ``select`` restricts the run to the given rule ids; unknown ids raise
-    :class:`ValueError` listing the known rules.  ``model`` parameterises the
+    ``select`` restricts the run to the given rule ids; a bare family prefix
+    (``"UNT"``, ``"LAY"``) selects every rule in the family, and unknown ids
+    raise :class:`ValueError` listing the known rules.  ``model`` parameterises the
     layering rules so synthetic trees can be checked in tests.
     """
     selection = _validated_selection(select)

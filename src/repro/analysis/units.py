@@ -1,0 +1,586 @@
+"""Units-and-dimensions dataflow analysis: the UNT rule family.
+
+An intraprocedural abstract interpretation over the AST that assigns
+physical units (:class:`~repro.analysis.unitmodel.Unit`) to names and
+expressions, seeded from the declarative :class:`UnitModel` — the suffix
+convention plus the registry of known signatures and fields — and checks
+every ``+``/``-``, comparison, and registry call for dimensional sanity:
+
+``UNT001``
+    Adding or subtracting quantities of different *dimensions*
+    (``energy_pj + num_bytes``).
+``UNT002``
+    Comparing quantities of different dimensions (``if energy_pj > cycles``).
+``UNT003``
+    Magnitude mixing inside one dimension (``pJ ± nJ``, ``ns ± s``) without
+    an explicit :mod:`repro.units` conversion helper.
+``UNT004``
+    Bit/byte conflation: mixing the two information scales in ``+``/``-``,
+    comparison, or division.
+``UNT005``
+    A dimensioned value passed to a parameter declared (by suffix or
+    registry) with a different unit.
+``UNT006``
+    A non-zero unitless literal folded via ``+``/``-``/comparison into
+    arithmetic on a strict dimension (energy, wall-time, frequency) outside
+    the model's allowlist.  Count-like dimensions are exempt: ``size +
+    alignment - 1`` is idiomatic, ``energy + 3.0`` is a smell.
+
+The analysis is deliberately *unsound but useful*, like the rest of the
+linter: unknown values propagate silently, multiplication produces a
+scaled copy (``energy_pj * 2``) or an unknown compound (``energy * cycles``),
+and division by a same-unit quantity produces a ratio.  Everything it
+*does* flag is decidable from names, the registry, and local dataflow —
+exactly the contract the suffix convention promises.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from .determinism import qualified_name
+from .rules import Finding, SourceModule
+from .unitmodel import RATE, RATIO, REPRO_UNIT_MODEL, SECONDS, Unit, UnitModel
+
+__all__ = [
+    "check_units",
+    "suggest_suffix_renames",
+    "SuffixSuggestion",
+    "resolve_call_aliases",
+]
+
+
+@dataclass(frozen=True)
+class _Literal:
+    """A unitless numeric literal (or a pure-literal expression)."""
+
+    value: float | None = None
+
+
+#: Abstract value lattice: ``None`` (unknown) | ``_Literal`` | ``Unit``.
+_Abstract = Union[None, _Literal, Unit]
+
+
+def resolve_call_aliases(module: SourceModule) -> dict[str, str]:
+    """Map local names to absolute dotted import targets, relative included.
+
+    Extends :func:`repro.analysis.determinism.resolve_aliases` with
+    relative-import resolution (``from ..units import bytes_to_bits`` inside
+    ``repro.memory.energy`` binds ``bytes_to_bits`` to
+    ``repro.units.bytes_to_bits``), so registry lookups work on the
+    package's own helpers.
+    """
+    aliases: dict[str, str] = {}
+    package = module.package_parts
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            elif node.level <= len(package):
+                stem = package[: len(package) - (node.level - 1)]
+                base = ".".join(stem)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                continue
+            if not base:
+                continue
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+@dataclass(frozen=True)
+class SuffixSuggestion:
+    """One ``--fix-suffixes`` proposal: a local that should carry its unit."""
+
+    path: str
+    line: int
+    name: str
+    suggested: str
+    unit: Unit
+
+    def render(self) -> str:
+        """Format as the canonical dry-run report line."""
+        return (
+            f"{self.path}:{self.line}: rename local {self.name!r} -> "
+            f"{self.suggested!r} (inferred {self.unit})"
+        )
+
+
+#: Builtins that return their (first) argument's unit unchanged.
+_PASSTHROUGH_BUILTINS = frozenset({"sum", "min", "max", "abs", "round", "float", "int"})
+
+
+def _tracked(value: _Abstract) -> _Abstract:
+    """Mask the :data:`RATE` sentinel to *unknown* outside multiplication.
+
+    Rates only exist to annihilate products (``e_per_byte * num_bytes`` is an
+    untracked compound, not bytes); in additive, comparison, and argument
+    positions they carry no checkable unit.
+    """
+    if value == RATE:
+        return None
+    return value
+
+
+class _Scope:
+    """One function (or module) body being interpreted."""
+
+    def __init__(self, analyzer: "_ModuleAnalyzer") -> None:
+        self.analyzer = analyzer
+        self.env: dict[str, _Abstract] = {}
+
+    # -- environment -----------------------------------------------------------
+
+    def lookup(self, name: str) -> _Abstract:
+        if name in self.env:
+            return self.env[name]
+        return self.analyzer.model.suffix_unit(name)
+
+    def bind(self, target: ast.expr, value: _Abstract) -> None:
+        if isinstance(target, ast.Name):
+            declared = self.analyzer.model.suffix_unit(target.id)
+            bound = declared if declared is not None else value
+            self.env[target.id] = bound
+            if (
+                declared is None
+                and isinstance(value, Unit)
+                and isinstance(target.ctx, ast.Store)
+            ):
+                self.analyzer.record_suggestion(target, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.bind(element, None)
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, None)
+        # Attribute / subscript stores carry no local binding.
+
+    # -- statements ------------------------------------------------------------
+
+    def execute(self, statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            self.statement(statement)
+
+    def statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.analyzer.analyze_function(node)
+        elif isinstance(node, ast.ClassDef):
+            # Class bodies get their own scope; dataclass fields seed from
+            # suffixes via AnnAssign handling below.
+            scope = _Scope(self.analyzer)
+            scope.execute(node.body)
+        elif isinstance(node, ast.Assign):
+            value = self.infer(node.value)
+            for target in node.targets:
+                self.bind(target, value)
+        elif isinstance(node, ast.AnnAssign):
+            value = self.infer(node.value) if node.value is not None else None
+            self.bind(node.target, value)
+        elif isinstance(node, ast.AugAssign):
+            self.aug_assign(node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.infer(node.value)
+        elif isinstance(node, ast.Expr):
+            self.infer(node.value)
+        elif isinstance(node, ast.If):
+            self.infer(node.test)
+            self.execute(node.body)
+            self.execute(node.orelse)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.infer(node.iter)
+            self.bind(node.target, None)
+            self.execute(node.body)
+            self.execute(node.orelse)
+        elif isinstance(node, ast.While):
+            self.infer(node.test)
+            self.execute(node.body)
+            self.execute(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.infer(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, None)
+            self.execute(node.body)
+        elif isinstance(node, ast.Try):
+            self.execute(node.body)
+            for handler in node.handlers:
+                self.execute(handler.body)
+            self.execute(node.orelse)
+            self.execute(node.finalbody)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+        # Pass/Import/Global/...: nothing to interpret.
+
+    def aug_assign(self, node: ast.AugAssign) -> None:
+        target_unit: _Abstract = None
+        if isinstance(node.target, ast.Name):
+            target_unit = self.lookup(node.target.id)
+        elif isinstance(node.target, ast.Attribute):
+            target_unit = self.analyzer.model.attribute_unit(node.target.attr)
+        value = self.infer(node.value)
+        result = self.binary(node.op, target_unit, value, node)
+        if isinstance(node.target, ast.Name):
+            declared = self.analyzer.model.suffix_unit(node.target.id)
+            self.env[node.target.id] = declared if declared is not None else result
+
+    # -- expressions -----------------------------------------------------------
+
+    def infer(self, node: ast.expr) -> _Abstract:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+                return None
+            return _Literal(float(node.value))
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            return self.analyzer.model.attribute_unit(node.attr)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            return self.binary(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Compare):
+            self.compare(node)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            if isinstance(body, Unit) and (body == orelse or not isinstance(orelse, Unit)):
+                return body
+            if isinstance(orelse, Unit) and not isinstance(body, Unit):
+                return orelse
+            return None
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return self.comprehension(node)
+        if isinstance(node, ast.DictComp):
+            scope = self.comprehension_scope(node.generators)
+            scope.infer(node.key)
+            scope.infer(node.value)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.infer(child)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.infer(node.value)
+            if isinstance(node.slice, ast.expr):
+                self.infer(node.slice)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value)
+            return None
+        if isinstance(node, ast.Lambda):
+            return None
+        return None
+
+    def comprehension_scope(self, generators: list[ast.comprehension]) -> "_Scope":
+        scope = _Scope(self.analyzer)
+        scope.env = dict(self.env)
+        for generator in generators:
+            scope.infer(generator.iter)
+            scope.bind(generator.target, None)
+            for condition in generator.ifs:
+                scope.infer(condition)
+        return scope
+
+    def comprehension(self, node: ast.GeneratorExp | ast.ListComp | ast.SetComp) -> _Abstract:
+        scope = self.comprehension_scope(node.generators)
+        return scope.infer(node.elt)
+
+    # -- operators -------------------------------------------------------------
+
+    def binary(
+        self, op: ast.operator, left: _Abstract, right: _Abstract, node: ast.expr
+    ) -> _Abstract:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return self.additive(_tracked(left), _tracked(right), node)
+        if RATE in (left, right):
+            return None  # rate × count, x / rate, ...: compound, untracked
+        if isinstance(op, ast.Mult):
+            # Ratios are dimensionless: scaling by one preserves the unit.
+            for unit, other in ((left, right), (right, left)):
+                if isinstance(unit, Unit) and unit.dimension == "ratio":
+                    if isinstance(other, Unit):
+                        return other
+                    return unit if isinstance(other, _Literal) else None
+            if isinstance(left, Unit) and not isinstance(right, Unit):
+                return left
+            if isinstance(right, Unit) and not isinstance(left, Unit):
+                return right
+            return None  # unit × unit: compound quantity, untracked
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if isinstance(right, Unit) and right.dimension == "ratio":
+                return left  # dividing by a dimensionless ratio
+            if isinstance(left, Unit) and isinstance(right, Unit):
+                return self.divide(left, right, node)
+            if isinstance(left, Unit):
+                return left  # unit / scalar keeps the unit
+            return None
+        if isinstance(op, ast.Mod) and isinstance(left, Unit):
+            return left
+        return None
+
+    def additive(self, left: _Abstract, right: _Abstract, node: ast.expr) -> _Abstract:
+        if isinstance(left, Unit) and isinstance(right, Unit):
+            if left == right:
+                return left
+            if left.dimension == right.dimension:
+                if left.dimension == "information":
+                    self.analyzer.emit(
+                        node,
+                        "UNT004",
+                        f"mixing {left} and {right} in +/- arithmetic; convert "
+                        f"explicitly with repro.units.bits_to_bytes/bytes_to_bits",
+                    )
+                else:
+                    self.analyzer.emit(
+                        node,
+                        "UNT003",
+                        f"mixing magnitudes {left} and {right} in +/- arithmetic; "
+                        f"route the conversion through a repro.units helper",
+                    )
+            else:
+                self.analyzer.emit(
+                    node,
+                    "UNT001",
+                    f"adding {left} to {right}: incompatible dimensions "
+                    f"({left.dimension} vs {right.dimension})",
+                )
+            return left
+        for unit, other in ((left, right), (right, left)):
+            if isinstance(unit, Unit):
+                if (
+                    isinstance(other, _Literal)
+                    and other.value is not None
+                    and unit.dimension in self.analyzer.model.strict_literal_dimensions
+                    and not self.analyzer.model.literal_allowed(other.value)
+                ):
+                    self.analyzer.emit(
+                        node,
+                        "UNT006",
+                        f"unitless literal {other.value:g} folded into {unit} "
+                        f"arithmetic; name the constant with a unit suffix or "
+                        f"allowlist it in the unit model",
+                    )
+                return unit
+        if isinstance(left, _Literal) and isinstance(right, _Literal):
+            return _Literal(None)
+        return None
+
+    def divide(self, left: Unit, right: Unit, node: ast.expr) -> _Abstract:
+        if left == right:
+            return RATIO
+        if left.dimension == right.dimension:
+            rule = "UNT004" if left.dimension == "information" else "UNT003"
+            self.analyzer.emit(
+                node,
+                rule,
+                f"dividing {left} by {right}: same dimension, different "
+                f"magnitude; convert through a repro.units helper first",
+            )
+            return RATIO
+        if left.dimension == "cycles" and right.dimension == "frequency":
+            return SECONDS
+        return None  # a rate (pJ/byte, bytes/cycle, ...): untracked
+
+    def compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        values = [_tracked(self.infer(operand)) for operand in operands]
+        for index in range(len(values) - 1):
+            op = node.ops[index]
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            left, right = values[index], values[index + 1]
+            if isinstance(left, Unit) and isinstance(right, Unit):
+                if left == right:
+                    continue
+                if left.dimension == right.dimension:
+                    rule = "UNT004" if left.dimension == "information" else "UNT003"
+                    self.analyzer.emit(
+                        node,
+                        rule,
+                        f"comparing {left} with {right}: same dimension, "
+                        f"different magnitude; convert explicitly first",
+                    )
+                else:
+                    self.analyzer.emit(
+                        node,
+                        "UNT002",
+                        f"comparing {left} with {right}: incompatible dimensions "
+                        f"({left.dimension} vs {right.dimension})",
+                    )
+                continue
+            for unit, other in ((left, right), (right, left)):
+                if (
+                    isinstance(unit, Unit)
+                    and isinstance(other, _Literal)
+                    and other.value is not None
+                    and unit.dimension in self.analyzer.model.strict_literal_dimensions
+                    and not self.analyzer.model.literal_allowed(other.value)
+                ):
+                    self.analyzer.emit(
+                        node,
+                        "UNT006",
+                        f"unitless literal {other.value:g} compared against a "
+                        f"{unit} quantity; name the threshold with a unit suffix",
+                    )
+                    break
+
+    # -- calls -----------------------------------------------------------------
+
+    def call(self, node: ast.Call) -> _Abstract:
+        argument_units = [self.infer(argument) for argument in node.args]
+        keyword_units = {
+            keyword.arg: self.infer(keyword.value)
+            for keyword in node.keywords
+            if keyword.arg is not None
+        }
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self.infer(keyword.value)
+
+        if isinstance(node.func, ast.Name) and node.func.id in _PASSTHROUGH_BUILTINS:
+            if node.func.id in ("min", "max") and len(argument_units) > 1:
+                units = [
+                    value
+                    for value in map(_tracked, argument_units)
+                    if isinstance(value, Unit)
+                ]
+                for first, second in zip(units, units[1:]):
+                    if first.dimension != second.dimension:
+                        self.analyzer.emit(
+                            node,
+                            "UNT002",
+                            f"{node.func.id}() compares {first} with {second}: "
+                            f"incompatible dimensions",
+                        )
+            return argument_units[0] if argument_units else None
+
+        qualified = qualified_name(node.func, self.analyzer.aliases)
+        signature = self.analyzer.model.function_units(qualified)
+        if signature is None:
+            return None
+
+        checked: list[tuple[str, _Abstract]] = []
+        if signature.positional is not None:
+            for name, value in zip(signature.positional, argument_units):
+                checked.append((name, value))
+        for name, value in keyword_units.items():
+            if name in signature.params:
+                checked.append((name, value))
+        for name, value in checked:
+            declared = signature.params.get(name)
+            value = _tracked(value)
+            if declared is None or not isinstance(value, Unit):
+                continue
+            if value != declared:
+                self.analyzer.emit(
+                    node,
+                    "UNT005",
+                    f"argument of unit {value} passed to parameter {name!r} of "
+                    f"{qualified}(), declared {declared}",
+                )
+        return signature.returns
+
+
+class _ModuleAnalyzer:
+    """Drives the per-scope interpretation over one module."""
+
+    def __init__(self, module: SourceModule, model: UnitModel) -> None:
+        self.module = module
+        self.model = model
+        self.path = str(module.path)
+        self.aliases = resolve_call_aliases(module)
+        self.findings: list[Finding] = []
+        self.suggestions: list[SuffixSuggestion] = []
+        self._suggested: set[str] = set()
+
+    def emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, getattr(node, "lineno", 1), rule, message))
+
+    def record_suggestion(self, target: ast.Name, unit: Unit) -> None:
+        suffix = self.model.canonical_suffixes.get(unit)
+        if suffix is None or target.id.startswith("_") or target.id in self._suggested:
+            return
+        self._suggested.add(target.id)
+        self.suggestions.append(
+            SuffixSuggestion(
+                path=self.path,
+                line=target.lineno,
+                name=target.id,
+                suggested=f"{target.id}{suffix}",
+                unit=unit,
+            )
+        )
+
+    def analyze(self) -> None:
+        scope = _Scope(self)
+        scope.execute(self.module.tree.body)
+
+    def analyze_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        scope = _Scope(self)
+        arguments = node.args
+        parameters = [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]
+        if arguments.vararg is not None:
+            parameters.append(arguments.vararg)
+        if arguments.kwarg is not None:
+            parameters.append(arguments.kwarg)
+        for parameter in parameters:
+            scope.env[parameter.arg] = self.model.suffix_unit(parameter.arg)
+        for default in [*arguments.defaults, *arguments.kw_defaults]:
+            if default is not None:
+                scope.infer(default)
+        scope.execute(node.body)
+
+
+def check_units(module: SourceModule, model: UnitModel = REPRO_UNIT_MODEL) -> Iterator[Finding]:
+    """Run UNT001–UNT006 over one module."""
+    analyzer = _ModuleAnalyzer(module, model)
+    analyzer.analyze()
+    yield from analyzer.findings
+
+
+def suggest_suffix_renames(
+    module: SourceModule, model: UnitModel = REPRO_UNIT_MODEL
+) -> list[SuffixSuggestion]:
+    """Propose unit-suffix renames for locals with inferable units.
+
+    The ``repro lint --fix-suffixes --dry-run`` scaffolding: every local
+    assigned a value of known unit whose name does not already declare one
+    gets a rename proposal toward the canonical suffix.  Reporting only —
+    applying the renames is future work.
+    """
+    analyzer = _ModuleAnalyzer(module, model)
+    analyzer.analyze()
+    return analyzer.suggestions

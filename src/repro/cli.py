@@ -30,7 +30,10 @@ Subcommands
     Detect program phases in a trace.
 ``lint [PATHS]``
     Run the architecture & determinism linter over the package (or the given
-    files/directories); exit 1 if there are findings.
+    files/directories); exit 1 if there are findings.  ``--select`` narrows
+    to rule ids or family prefixes (``UNT``), ``--statistics`` appends
+    per-rule counts, and ``--fix-suffixes --dry-run`` reports unit-suffix
+    renames for locals with inferable units.
 """
 
 from __future__ import annotations
@@ -288,6 +291,8 @@ def _cmd_bist(args) -> int:
 def _cmd_lint(args) -> int:
     from .analysis import run_lint
 
+    if args.fix_suffixes:
+        return _lint_fix_suffixes(args)
     select = None
     if args.select:
         select = [rule for chunk in args.select for rule in chunk.split(",")]
@@ -296,8 +301,39 @@ def _cmd_lint(args) -> int:
         report = run_lint(paths, select=select)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
-    print(report.to_json() if args.format == "json" else report.render_text())
+    if args.format == "json":
+        print(report.to_json(statistics=args.statistics))
+    else:
+        print(report.render_text(statistics=args.statistics))
     return 0 if report.clean else 1
+
+
+def _lint_fix_suffixes(args) -> int:
+    from .analysis import load_module, suggest_suffix_renames
+    from .analysis.runner import collect_files, default_target
+
+    if not args.dry_run:
+        raise SystemExit(
+            "error: --fix-suffixes only supports --dry-run for now; renames "
+            "are reported, not applied"
+        )
+    targets = [Path(p) for p in args.paths] or [default_target()]
+    try:
+        files = collect_files(targets)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    suggestions = []
+    for file in files:
+        try:
+            module = load_module(file)
+        except SyntaxError:
+            continue  # SYN001 territory; the normal lint path reports it
+        suggestions.extend(suggest_suffix_renames(module))
+    for suggestion in suggestions:
+        print(suggestion.render())
+    noun = "rename" if len(suggestions) == 1 else "renames"
+    print(f"{len(suggestions)} suggested {noun} in {len(files)} files scanned (dry run)")
+    return 0
 
 
 def _cmd_phases(args) -> int:
@@ -390,7 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.add_argument(
         "--select", action="append", metavar="RULE,...", default=[],
-        help="restrict to the given rule ids (repeatable, comma-separated)",
+        help="restrict to the given rule ids or family prefixes like UNT "
+        "(repeatable, comma-separated)",
+    )
+    lint.add_argument(
+        "--statistics", action="store_true",
+        help="append per-rule finding counts to the report",
+    )
+    lint.add_argument(
+        "--fix-suffixes", action="store_true",
+        help="report unit-suffix renames for locals with inferable units",
+    )
+    lint.add_argument(
+        "--dry-run", action="store_true",
+        help="with --fix-suffixes: report the renames without applying them",
     )
     lint.set_defaults(func=_cmd_lint)
 

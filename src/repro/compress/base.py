@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..units import bytes_to_bits
+
 __all__ = ["CompressedLine", "LineCodec"]
 
 
@@ -30,7 +32,7 @@ class CompressedLine:
         """Compression ratio: compressed bits / original bits (lower = better)."""
         if self.original_bytes == 0:
             return 1.0
-        return self.bit_length / (8 * self.original_bytes)
+        return self.bit_length / bytes_to_bits(self.original_bytes)
 
     @property
     def saved_bytes(self) -> int:

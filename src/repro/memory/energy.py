@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..units import bytes_to_bits, pw_ns_to_pj
+
 __all__ = [
     "SRAMEnergyModel",
     "DRAMEnergyModel",
@@ -72,7 +74,7 @@ class SRAMEnergyModel:
             raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
         if word_bytes <= 0:
             raise ValueError(f"word_bytes must be positive, got {word_bytes}")
-        bits = capacity_bytes * 8
+        bits = bytes_to_bits(capacity_bytes)
         words = max(1, capacity_bytes // word_bytes)
         array_term = self.e_array * math.sqrt(bits)
         decode_term = self.e_decode * math.log2(words) if words > 1 else 0.0
@@ -86,9 +88,8 @@ class SRAMEnergyModel:
         """Leakage energy (pJ) of the array over ``cycles`` clock cycles."""
         if cycles < 0:
             raise ValueError(f"cycles must be non-negative, got {cycles}")
-        bits = capacity_bytes * 8
-        # pW * ns = 1e-21 J = 1e-9 pJ
-        return bits * self.leakage_pw_per_bit * cycles * cycle_time_ns * 1e-9
+        bits = bytes_to_bits(capacity_bytes)
+        return pw_ns_to_pj(bits * self.leakage_pw_per_bit, cycles * cycle_time_ns)
 
 
 @dataclass(frozen=True)

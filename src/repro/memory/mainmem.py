@@ -37,25 +37,25 @@ class MainMemory:
 
     def read_burst(self, num_bytes: int | None = None) -> float:
         """Record a burst read of ``num_bytes`` (default line size); return pJ."""
-        size = self.line_bytes if num_bytes is None else num_bytes
-        if size < 0:
-            raise ValueError(f"num_bytes must be non-negative, got {size}")
+        size_bytes = self.line_bytes if num_bytes is None else num_bytes
+        if size_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {size_bytes}")
         self.reads += 1
-        self.bytes_read += size
-        delta = self.model.access_energy(size)
-        self.energy += delta
-        return delta
+        self.bytes_read += size_bytes
+        delta_pj = self.model.access_energy(size_bytes)
+        self.energy += delta_pj
+        return delta_pj
 
     def write_burst(self, num_bytes: int | None = None) -> float:
         """Record a burst write of ``num_bytes`` (default line size); return pJ."""
-        size = self.line_bytes if num_bytes is None else num_bytes
-        if size < 0:
-            raise ValueError(f"num_bytes must be non-negative, got {size}")
+        size_bytes = self.line_bytes if num_bytes is None else num_bytes
+        if size_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {size_bytes}")
         self.writes += 1
-        self.bytes_written += size
-        delta = self.model.access_energy(size)
-        self.energy += delta
-        return delta
+        self.bytes_written += size_bytes
+        delta_pj = self.model.access_energy(size_bytes)
+        self.energy += delta_pj
+        return delta_pj
 
     @property
     def accesses(self) -> int:

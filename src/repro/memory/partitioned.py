@@ -112,10 +112,10 @@ class PartitionedMemory:
     def access(self, event: MemoryAccess) -> float:
         """Route one access; return its energy (bank + decoder) in pJ."""
         bank = self.bank_for(event.address)
-        bank_energy = bank.write() if event.is_write else bank.read()
-        decoder_energy = self.decoder_model.access_energy(self.num_banks)
-        self._decoder_energy += decoder_energy
-        return bank_energy + decoder_energy
+        bank_pj = bank.write() if event.is_write else bank.read()
+        decoder_pj = self.decoder_model.access_energy(self.num_banks)
+        self._decoder_energy += decoder_pj
+        return bank_pj + decoder_pj
 
     def play(self, trace: Trace, include_leakage: bool = False) -> MemoryEnergyReport:
         """Play a whole trace; return the energy report.
@@ -124,20 +124,20 @@ class PartitionedMemory:
         duration (timestamp span), which penalizes over-provisioned banks.
         """
         self.reset_counters()
-        bank_energy = 0.0
+        bank_pj = 0.0
         for event in trace:
             bank = self.bank_for(event.address)
-            bank_energy += bank.write() if event.is_write else bank.read()
-        decoder_energy = len(trace) * self.decoder_model.access_energy(self.num_banks)
-        self._decoder_energy = decoder_energy
-        leakage = 0.0
+            bank_pj += bank.write() if event.is_write else bank.read()
+        decoder_pj = len(trace) * self.decoder_model.access_energy(self.num_banks)
+        self._decoder_energy = decoder_pj
+        leakage_pj = 0.0
         if include_leakage and len(trace):
-            duration = trace.events[-1].time - trace.events[0].time + 1
-            leakage = sum(bank.leakage_energy(duration) for bank in self.banks)
+            duration_cycles = trace.events[-1].time - trace.events[0].time + 1
+            leakage_pj = sum(bank.leakage_energy(duration_cycles) for bank in self.banks)
         return MemoryEnergyReport(
-            bank_energy=bank_energy,
-            decoder_energy=decoder_energy,
-            leakage_energy=leakage,
+            bank_energy=bank_pj,
+            decoder_energy=decoder_pj,
+            leakage_energy=leakage_pj,
             accesses=len(trace),
         )
 

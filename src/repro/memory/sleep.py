@@ -99,9 +99,9 @@ def simulate_bank_sleep(
     if not len(layout_trace):
         return BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
 
-    start = layout_trace.events[0].time
-    end = layout_trace.events[-1].time
-    duration = end - start + 1
+    start_cycles = layout_trace.events[0].time
+    end_cycles = layout_trace.events[-1].time
+    duration_cycles = end_cycles - start_cycles + 1
 
     # Per-bank sorted access times.
     access_times: list[list[int]] = [[] for _ in bank_sizes]
@@ -114,48 +114,52 @@ def simulate_bank_sleep(
         else:
             raise ValueError(f"address {event.address:#x} outside every bank")
 
-    always_on = sum(
-        sram_model.leakage_energy(size, duration, cycle_time_ns) for size in bank_sizes
+    always_on_pj = sum(
+        sram_model.leakage_energy(size, duration_cycles, cycle_time_ns)
+        for size in bank_sizes
     )
-    managed = 0.0
+    managed_pj = 0.0
     wakes = 0
     asleep_bank_cycles = 0
-    total_bank_cycles = duration * len(bank_sizes)
+    total_bank_cycles = duration_cycles * len(bank_sizes)
 
     for index, size in enumerate(bank_sizes):
         times = access_times[index]
-        rate = sram_model.leakage_energy(size, 1, cycle_time_ns)  # pJ per cycle
+        leak_pj_per_cycle = sram_model.leakage_energy(size, 1, cycle_time_ns)
         if not times:
             # Never touched: asleep for the whole run (one initial wake saved).
-            asleep = duration
-            managed += asleep * rate * policy.sleep_factor
-            asleep_bank_cycles += asleep
+            asleep_cycles = duration_cycles
+            managed_pj += asleep_cycles * leak_pj_per_cycle * policy.sleep_factor
+            asleep_bank_cycles += asleep_cycles
             continue
-        awake = 0
-        asleep = 0
+        awake_cycles = 0
+        asleep_cycles = 0
         # Idle gap before the first access (bank starts asleep).
-        lead = times[0] - start
-        asleep += lead
-        if lead > 0:
+        lead_cycles = times[0] - start_cycles
+        asleep_cycles += lead_cycles
+        if lead_cycles > 0:
             wakes += 1
         for previous, current in zip(times, times[1:]):
-            gap = current - previous
-            if gap > policy.timeout_cycles:
-                awake += policy.timeout_cycles
-                asleep += gap - policy.timeout_cycles
+            gap_cycles = current - previous
+            if gap_cycles > policy.timeout_cycles:
+                awake_cycles += policy.timeout_cycles
+                asleep_cycles += gap_cycles - policy.timeout_cycles
                 wakes += 1
             else:
-                awake += gap
+                awake_cycles += gap_cycles
         # Tail after the last access: awake until timeout, then asleep.
-        tail = end - times[-1] + 1
-        awake += min(tail, policy.timeout_cycles)
-        asleep += max(0, tail - policy.timeout_cycles)
-        managed += awake * rate + asleep * rate * policy.sleep_factor
-        asleep_bank_cycles += asleep
+        tail_cycles = end_cycles - times[-1] + 1
+        awake_cycles += min(tail_cycles, policy.timeout_cycles)
+        asleep_cycles += max(0, tail_cycles - policy.timeout_cycles)
+        managed_pj += (
+            awake_cycles * leak_pj_per_cycle
+            + asleep_cycles * leak_pj_per_cycle * policy.sleep_factor
+        )
+        asleep_bank_cycles += asleep_cycles
 
     return BankSleepReport(
-        always_on_leakage=always_on,
-        managed_leakage=managed,
+        always_on_leakage=always_on_pj,
+        managed_leakage=managed_pj,
         wake_events=wakes,
         wake_energy=wakes * policy.wake_energy,
         sleep_fraction=asleep_bank_cycles / total_bank_cycles if total_bank_cycles else 0.0,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
+from ..units import pj_to_nj
 from .spec import PartitionSpec
 
 __all__ = ["PartitionCostModel"]
@@ -90,12 +91,12 @@ class PartitionCostModel:
         capacity = self._bank_capacity(end - start)
         reads = int(self._read_prefix[end] - self._read_prefix[start])
         writes = int(self._write_prefix[end] - self._write_prefix[start])
-        dynamic = reads * self.sram_model.read_energy(capacity) + writes * self.sram_model.write_energy(
+        dynamic_pj = reads * self.sram_model.read_energy(capacity) + writes * self.sram_model.write_energy(
             capacity
         )
         if self.leakage_cycles:
-            dynamic += self.sram_model.leakage_energy(capacity, self.leakage_cycles)
-        return dynamic
+            dynamic_pj += self.sram_model.leakage_energy(capacity, self.leakage_cycles)
+        return dynamic_pj
 
     def decoder_cost(self, num_banks: int) -> float:
         """Total decoder energy (pJ): every access pays the selection overhead."""
@@ -108,11 +109,15 @@ class PartitionCostModel:
                 f"spec covers {spec.total_blocks} blocks, cost model has {self.num_blocks}"
             )
         edges = spec.boundaries()
-        bank_energy = sum(
+        bank_pj = sum(
             self.segment_cost(edges[index], edges[index + 1]) for index in range(spec.num_banks)
         )
-        return bank_energy + self.decoder_cost(spec.num_banks)
+        return bank_pj + self.decoder_cost(spec.num_banks)
 
     def monolithic_cost(self) -> float:
         """Energy (pJ) of the single-bank baseline (no decoder overhead)."""
         return self.segment_cost(0, self.num_blocks)
+
+    def partition_cost_nj(self, spec: PartitionSpec) -> float:
+        """:meth:`partition_cost` in nanojoules (for report tables)."""
+        return pj_to_nj(self.partition_cost(spec))

@@ -62,29 +62,29 @@ class GreedyPartitioner:
         def best_split(start: int, end: int) -> tuple[float, int] | None:
             if end - start < 2:
                 return None
-            current = segment_costs[(start, end)]
-            best_gain, best_cut = 0.0, -1
+            current_pj = segment_costs[(start, end)]
+            best_gain_pj, best_cut = 0.0, -1
             for cut in range(start + 1, end, self.scan_stride):
-                split_cost = cost_model.segment_cost(start, cut) + cost_model.segment_cost(cut, end)
-                gain = current - split_cost
-                if gain > best_gain:
-                    best_gain, best_cut = gain, cut
+                split_pj = cost_model.segment_cost(start, cut) + cost_model.segment_cost(cut, end)
+                gain_pj = current_pj - split_pj
+                if gain_pj > best_gain_pj:
+                    best_gain_pj, best_cut = gain_pj, cut
             if best_cut < 0:
                 return None
-            return best_gain, best_cut
+            return best_gain_pj, best_cut
 
         while len(segments) < self.max_banks:
             k = len(segments)
-            decoder_delta = cost_model.decoder_cost(k + 1) - cost_model.decoder_cost(k)
+            decoder_delta_pj = cost_model.decoder_cost(k + 1) - cost_model.decoder_cost(k)
             best = None  # (net_gain, segment_index, cut)
             for index, (start, end) in enumerate(segments):
                 candidate = best_split(start, end)
                 if candidate is None:
                     continue
-                gain, cut = candidate
-                net = gain - decoder_delta
-                if net > 0 and (best is None or net > best[0]):
-                    best = (net, index, cut)
+                gain_pj, cut = candidate
+                net_pj = gain_pj - decoder_delta_pj
+                if net_pj > 0 and (best is None or net_pj > best[0]):
+                    best = (net_pj, index, cut)
             if best is None:
                 break
             _, index, cut = best

@@ -114,10 +114,10 @@ class OptimalPartitioner:
         for k in bank_counts:
             if dp[k][n] == INF:
                 continue
-            total = dp[k][n] + cost_model.decoder_cost(k)
-            if best_result is None or total < best_result.predicted_energy:
+            total_pj = dp[k][n] + cost_model.decoder_cost(k)
+            if best_result is None or total_pj < best_result.predicted_energy:
                 spec = self._backtrack(choice, cell_edges, k, n, cost_model)
-                best_result = PartitionResult(spec=spec, predicted_energy=total, num_banks=k)
+                best_result = PartitionResult(spec=spec, predicted_energy=total_pj, num_banks=k)
         if best_result is None:  # pragma: no cover - defensive
             raise RuntimeError("DP found no feasible partition")
         return best_result

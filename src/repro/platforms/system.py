@@ -284,9 +284,9 @@ class Platform:
                 unit.stats.energy += unit.operation_energy(size)
                 unit.stats.lines_decompressed += 1
                 burst_cycles = config.cycles_per_burst_word * (-(-stored // 4))
-                decompress = unit.latency_cycles(size)
+                decompress_cycles = unit.latency_cycles(size)
                 timing["stall_cycles"] += config.miss_penalty_cycles + burst_cycles
-                timing["decompression_cycles"] += decompress
+                timing["decompression_cycles"] += decompress_cycles
             else:
                 breakdown.dram += memory.read_burst(size)
                 breakdown.bus += bus.drive_bytes(content)

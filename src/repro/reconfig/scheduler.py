@@ -113,8 +113,8 @@ def evaluate_schedule(
 
         # Accesses.
         for ds in kernel.data_sets:
-            rate = architecture.e_l0_access if ds.name in placement else architecture.e_l1_access
-            energy.access_energy += rate * ds.accesses
+            rate_pj = architecture.e_l0_access if ds.name in placement else architecture.e_l1_access
+            energy.access_energy += rate_pj * ds.accesses
 
     # Final write-back of dirty L0 residents.
     for name in dirty:
@@ -205,17 +205,17 @@ class EnergyAwareScheduler:
             for ds in kernel.data_sets:
                 if ds.size > architecture.l0_size:
                     continue
-                saved = ds.accesses * (architecture.e_l1_access - architecture.e_l0_access)
-                stage_cost = 0.0 if ds.name in previous_placement else (
+                saved_pj = ds.accesses * (architecture.e_l1_access - architecture.e_l0_access)
+                stage_pj = 0.0 if ds.name in previous_placement else (
                     architecture.e_transfer_per_byte * ds.size
                 )
-                writeback_cost = architecture.e_transfer_per_byte * ds.size if ds.writes else 0.0
+                writeback_pj = architecture.e_transfer_per_byte * ds.size if ds.writes else 0.0
                 # Reuse by the next kernel amortizes the staging cost.
                 if ds.name in next_touches:
-                    stage_cost *= 0.5
-                value = saved - stage_cost - writeback_cost
-                if value > 0:
-                    items.append((ds.name, ds.size, value))
+                    stage_pj *= 0.5
+                value_pj = saved_pj - stage_pj - writeback_pj
+                if value_pj > 0:
+                    items.append((ds.name, ds.size, value_pj))
             placements.append(self._knapsack(items, architecture.l0_size))
             previous_placement = placements[-1]
         return placements

@@ -88,9 +88,9 @@ class SPMAllocator:
 
     def allocate(self, profile: AccessProfile) -> SPMAllocation:
         """Pick the block set maximizing predicted energy benefit."""
-        per_access_saving = self.cache_path_energy - self.config.access_energy()
+        saving_pj = self.cache_path_energy - self.config.access_energy()
         capacity_blocks = self.config.size // profile.block_size
-        if per_access_saving <= 0 or capacity_blocks == 0:
+        if saving_pj <= 0 or capacity_blocks == 0:
             return SPMAllocation(
                 blocks=frozenset(),
                 block_size=profile.block_size,
@@ -100,10 +100,10 @@ class SPMAllocator:
         counts = profile.access_counts()
         ranked = sorted(counts, key=lambda block: (-counts[block], block))
         chosen = ranked[:capacity_blocks]
-        benefit = per_access_saving * sum(counts[block] for block in chosen)
+        benefit_pj = saving_pj * sum(counts[block] for block in chosen)
         return SPMAllocation(
             blocks=frozenset(chosen),
             block_size=profile.block_size,
             config=self.config,
-            predicted_benefit=benefit,
+            predicted_benefit=benefit_pj,
         )

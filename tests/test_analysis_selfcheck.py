@@ -31,8 +31,10 @@ def test_selfcheck_covers_every_rule():
 
 
 def test_layer_model_matches_package_layout():
-    # Every top-level subpackage must be assigned a layer — LAY005 enforces
-    # this only for *imported* packages, so check the directory listing too.
+    # Every top-level subpackage — and every single-file module directly
+    # under the root, like ``repro.units`` — must be assigned a layer.
+    # LAY005 enforces this only for *imported* packages, so check the
+    # directory listing too.
     model = REPRO_LAYER_MODEL
     assigned = model.substrate | model.techniques | model.leaves | model.top
     on_disk = {
@@ -40,9 +42,14 @@ def test_layer_model_matches_package_layout():
         for child in PACKAGE_ROOT.iterdir()
         if child.is_dir() and (child / "__init__.py").exists()
     }
+    on_disk |= {
+        child.stem
+        for child in PACKAGE_ROOT.glob("*.py")
+        if child.name != "__init__.py"
+    }
     unassigned = on_disk - assigned
     assert not unassigned, f"subpackages missing a layer assignment: {sorted(unassigned)}"
-    phantom = assigned - on_disk - {"cli", "__init__"}
+    phantom = assigned - on_disk - {"__init__"}
     assert not phantom, f"layer model names nonexistent packages: {sorted(phantom)}"
 
 

@@ -1,0 +1,523 @@
+"""Unit tests for the UNT rule family (units-and-dimensions dataflow).
+
+Every UNT rule must demonstrably *fire* on a deliberate violation and be
+suppressible with a targeted ``# repro: lint-ignore[UNT00x]`` pragma —
+otherwise the units baseline in ``test_units_baseline.py`` proves nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_units, load_module, run_lint, suggest_suffix_renames
+from repro.analysis.unitmodel import (
+    BITS,
+    BYTES,
+    CYCLES,
+    NJ,
+    PJ,
+    RATE,
+    REPRO_UNIT_MODEL,
+    SECONDS,
+)
+from repro.cli import main
+
+
+def unit_findings(tmp_path: Path, source: str):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return list(check_units(load_module(path)))
+
+
+def rules_fired(findings) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestUnitModel:
+    def test_suffixes_declare_units(self):
+        model = REPRO_UNIT_MODEL
+        assert model.suffix_unit("total_pj") == PJ
+        assert model.suffix_unit("budget_nj") == NJ
+        assert model.suffix_unit("stall_cycles") == CYCLES
+        assert model.suffix_unit("cycles") == CYCLES
+        assert model.suffix_unit("num_bits") == BITS
+        assert model.suffix_unit("plain_counter") is None
+
+    def test_per_names_are_rates(self):
+        # Numerator with a recognised suffix keeps its unit; otherwise the
+        # RATE sentinel annihilates products instead of leaking count units.
+        model = REPRO_UNIT_MODEL
+        assert model.suffix_unit("decompress_cycles_per_word") == CYCLES
+        assert model.suffix_unit("e_per_byte") == RATE
+        assert model.suffix_unit("leakage_pw_per_bit") == RATE
+
+    def test_attribute_registry_and_suffix_precedence(self):
+        model = REPRO_UNIT_MODEL
+        assert model.attribute_unit("dram") == PJ
+        assert model.attribute_unit("size") == BYTES
+        assert model.attribute_unit("width") == BITS
+        # A suffix on the attribute name overrides the registry.
+        assert model.attribute_unit("dram_cycles") == CYCLES
+
+    def test_function_lookup_order(self):
+        model = REPRO_UNIT_MODEL
+        qualified = model.function_units("repro.units.pj_to_nj")
+        assert qualified is not None and qualified.returns == NJ
+        bare = model.function_units("repro.memory.energy.SRAMEnergyModel.read_energy")
+        assert bare is not None and bare.returns == PJ
+        # A function *named* with a unit suffix returns that unit.
+        by_suffix = model.function_units("somewhere.total_cycles")
+        assert by_suffix is not None and by_suffix.returns == CYCLES
+        assert model.function_units("unknown.helper") is None
+
+
+class TestAdditiveRules:
+    def test_cross_dimension_add_fires_unt001(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, num_bytes):
+                return total_pj + num_bytes
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+    def test_same_unit_add_is_clean(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(read_pj, write_pj):
+                return read_pj + write_pj
+            """,
+        )
+        assert findings == []
+
+    def test_magnitude_mixing_fires_unt003(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, budget_nj):
+                return total_pj - budget_nj
+            """,
+        )
+        assert rules_fired(findings) == {"UNT003"}
+
+    def test_bit_byte_mixing_fires_unt004(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(num_bits, num_bytes):
+                return num_bits + num_bytes
+            """,
+        )
+        assert rules_fired(findings) == {"UNT004"}
+
+    def test_bit_byte_division_fires_unt004(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(num_bits, num_bytes):
+                return num_bits / num_bytes
+            """,
+        )
+        assert rules_fired(findings) == {"UNT004"}
+
+    def test_unitless_literal_on_energy_fires_unt006(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj):
+                return total_pj + 3.0
+            """,
+        )
+        assert rules_fired(findings) == {"UNT006"}
+
+    def test_count_dimensions_tolerate_literals(self, tmp_path):
+        # ``size + alignment - 1`` is idiomatic: count-like dimensions are
+        # exempt from UNT006, and zero never fires anywhere.
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(num_bytes, stall_cycles, total_pj):
+                ceil = (num_bytes + 7) // 8
+                tick = stall_cycles + 1
+                return ceil, tick, total_pj + 0
+            """,
+        )
+        assert findings == []
+
+    def test_augmented_assignment_is_checked(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(breakdown, delay_cycles):
+                breakdown.dram += delay_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+
+class TestComparisonRules:
+    def test_cross_dimension_compare_fires_unt002(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, stall_cycles):
+                return total_pj > stall_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT002"}
+
+    def test_min_max_mixing_fires_unt002(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, num_bytes):
+                return min(total_pj, num_bytes)
+            """,
+        )
+        assert rules_fired(findings) == {"UNT002"}
+
+    def test_magnitude_compare_fires_unt003(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, budget_nj):
+                return total_pj < budget_nj
+            """,
+        )
+        assert rules_fired(findings) == {"UNT003"}
+
+    def test_energy_threshold_literal_fires_unt006(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj):
+                return total_pj > 100.0
+            """,
+        )
+        assert rules_fired(findings) == {"UNT006"}
+
+    def test_same_unit_compare_is_clean(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, budget_pj, num_bytes):
+                return total_pj < budget_pj and num_bytes > 0
+            """,
+        )
+        assert findings == []
+
+
+class TestCallRules:
+    def test_wrong_unit_to_conversion_helper_fires_unt005(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            from repro.units import pj_to_nj
+
+            def f(delay_cycles):
+                return pj_to_nj(delay_cycles)
+            """,
+        )
+        assert rules_fired(findings) == {"UNT005"}
+
+    def test_relative_import_resolves_to_registry(self, tmp_path):
+        # ``from ..units import bytes_to_bits`` inside ``repro.memory.*``
+        # must resolve to the registry entry for repro.units.bytes_to_bits.
+        root = tmp_path / "repro" / "memory"
+        root.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (root / "__init__.py").write_text("")
+        path = root / "mod.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                from ..units import bytes_to_bits
+
+                def f(num_bits):
+                    return bytes_to_bits(num_bits)
+                """
+            )
+        )
+        findings = list(check_units(load_module(path)))
+        assert rules_fired(findings) == {"UNT005"}
+
+    def test_keyword_argument_units_are_checked(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(model, total_pj):
+                return model.read_energy(capacity_bytes=total_pj)
+            """,
+        )
+        assert rules_fired(findings) == {"UNT005"}
+
+    def test_correct_units_through_helpers_are_clean(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            from repro.units import bytes_to_bits, cycles_to_seconds, pj_to_nj
+
+            def f(model, num_bytes, stall_cycles, clock_hz):
+                num_bits = bytes_to_bits(num_bytes)
+                total_pj = model.read_energy(capacity_bytes=num_bytes)
+                elapsed_seconds = cycles_to_seconds(stall_cycles, clock_hz)
+                return num_bits, pj_to_nj(total_pj), elapsed_seconds
+            """,
+        )
+        assert findings == []
+
+    def test_registry_return_units_flow_onward(self, tmp_path):
+        # read_energy returns pJ; adding cycles to it must fire UNT001 even
+        # though the receiving name carries no suffix.
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(model, num_bytes, stall_cycles):
+                cost = model.read_energy(capacity_bytes=num_bytes)
+                return cost + stall_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+
+class TestDataflow:
+    def test_declared_suffix_wins_over_inferred_value(self, tmp_path):
+        # Assignment to a suffixed name *declares* the unit; downstream
+        # arithmetic is checked against the declaration.
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(raw, budget_pj):
+                total_pj = raw
+                return total_pj + budget_pj
+            """,
+        )
+        assert findings == []
+
+    def test_rate_coefficients_do_not_leak_count_units(self, tmp_path):
+        # e_per_byte * num_bytes is energy-shaped, not bytes: the classic
+        # coefficient pattern must not fire UNT001 against an energy sum.
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(e_activation_pj, e_per_byte, num_bytes):
+                return e_activation_pj + e_per_byte * num_bytes
+            """,
+        )
+        assert findings == []
+
+    def test_scaling_by_plain_numbers_keeps_the_unit(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, stall_cycles):
+                doubled = total_pj * 2
+                halved = stall_cycles / 4
+                return doubled + stall_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+    def test_same_unit_division_yields_a_ratio(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(used_bytes, capacity_bytes, hit_ratio):
+                occupancy_ratio = used_bytes / capacity_bytes
+                return occupancy_ratio + hit_ratio
+            """,
+        )
+        assert findings == []
+
+    def test_ratios_are_dimensionless_scalars(self, tmp_path):
+        # Scaling by a ratio (sleep_factor, hit_ratio) preserves the unit on
+        # the other side; dividing by one does too.
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, hit_ratio, budget_pj):
+                drowsy = total_pj * hit_ratio
+                rescaled = budget_pj / hit_ratio
+                return drowsy + rescaled
+            """,
+        )
+        assert findings == []
+
+    def test_ratio_scaling_still_flags_real_mismatches(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(total_pj, hit_ratio, stall_cycles):
+                return total_pj * hit_ratio + stall_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+    def test_cycles_over_frequency_is_seconds(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(stall_cycles, clock_hz, elapsed_seconds):
+                return stall_cycles / clock_hz + elapsed_seconds
+            """,
+        )
+        assert findings == []
+
+    def test_sum_over_comprehension_propagates_units(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(banks, stall_cycles):
+                total = sum(bank.leakage_energy for bank in banks)
+                return total + stall_cycles
+            """,
+        )
+        assert rules_fired(findings) == {"UNT001"}
+
+    def test_unknown_values_propagate_silently(self, tmp_path):
+        findings = unit_findings(
+            tmp_path,
+            """
+            def f(mystery, total_pj):
+                blend = mystery * 3
+                return total_pj + blend
+            """,
+        )
+        assert findings == []
+
+
+PRAGMA_CASES = {
+    "UNT001": "def f(total_pj, num_bytes):\n"
+    "    return total_pj + num_bytes  # repro: lint-ignore[UNT001]\n",
+    "UNT002": "def f(total_pj, stall_cycles):\n"
+    "    return total_pj > stall_cycles  # repro: lint-ignore[UNT002]\n",
+    "UNT003": "def f(total_pj, budget_nj):\n"
+    "    return total_pj - budget_nj  # repro: lint-ignore[UNT003]\n",
+    "UNT004": "def f(num_bits, num_bytes):\n"
+    "    return num_bits + num_bytes  # repro: lint-ignore[UNT004]\n",
+    "UNT005": "from repro.units import pj_to_nj\n"
+    "def f(delay_cycles):\n"
+    "    return pj_to_nj(delay_cycles)  # repro: lint-ignore[UNT005]\n",
+    "UNT006": "def f(total_pj):\n"
+    "    return total_pj + 3.0  # repro: lint-ignore[UNT006]\n",
+}
+
+
+class TestPragmaSuppression:
+    @pytest.mark.parametrize("rule", sorted(PRAGMA_CASES))
+    def test_pragma_suppresses_the_rule(self, tmp_path, rule):
+        path = tmp_path / "mod.py"
+        path.write_text(PRAGMA_CASES[rule])
+        report = run_lint([path], select=[rule])
+        assert report.clean, report.render_text()
+
+    @pytest.mark.parametrize("rule", sorted(PRAGMA_CASES))
+    def test_without_pragma_the_rule_fires(self, tmp_path, rule):
+        path = tmp_path / "mod.py"
+        path.write_text(PRAGMA_CASES[rule].replace(f"  # repro: lint-ignore[{rule}]", ""))
+        report = run_lint([path], select=[rule])
+        assert [finding.rule for finding in report.findings] == [rule]
+
+
+class TestStatistics:
+    def test_statistics_counts_by_rule(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(total_pj, num_bytes, stall_cycles):\n"
+            "    a = total_pj + num_bytes\n"
+            "    b = total_pj + stall_cycles\n"
+            "    return a, b, total_pj > num_bytes\n"
+        )
+        report = run_lint([path], select=["UNT001", "UNT002"])
+        assert report.statistics() == {"UNT001": 2, "UNT002": 1}
+
+    def test_render_text_appends_statistics_block(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(total_pj, num_bytes):\n    return total_pj + num_bytes\n")
+        report = run_lint([path], select=["UNT001"])
+        text = report.render_text(statistics=True)
+        assert "UNT001 (dimension-add-mismatch): 1" in text
+        assert "UNT001 (" not in report.render_text()
+
+    def test_json_statistics_are_additive_to_schema_v1(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(total_pj, num_bytes):\n    return total_pj + num_bytes\n")
+        report = run_lint([path], select=["UNT001"])
+        payload = json.loads(report.to_json(statistics=True))
+        assert payload["version"] == 1
+        assert payload["statistics"] == {"UNT001": 1}
+        assert "statistics" not in json.loads(report.to_json())
+
+    def test_select_family_prefix_expands_to_all_unt_rules(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(total_pj, num_bytes):\n"
+            "    return total_pj + num_bytes, total_pj > num_bytes\n"
+        )
+        report = run_lint([path], select=["UNT"])
+        assert rules_fired(report.findings) == {"UNT001", "UNT002"}
+
+    def test_cli_statistics_flag(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(total_pj, num_bytes):\n    return total_pj + num_bytes\n")
+        assert main(["lint", str(path), "--select", "UNT001", "--statistics"]) == 1
+        assert "UNT001 (dimension-add-mismatch): 1" in capsys.readouterr().out
+
+
+class TestSuffixSuggestions:
+    def test_inferred_unit_yields_rename_proposal(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(read_pj, write_pj):\n"
+            "    total = read_pj + write_pj\n"
+            "    return total\n"
+        )
+        [suggestion] = suggest_suffix_renames(load_module(path))
+        assert suggestion.name == "total"
+        assert suggestion.suggested == "total_pj"
+        assert suggestion.unit == PJ
+        assert "total_pj" in suggestion.render()
+
+    def test_suffixed_and_private_names_are_not_suggested(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(read_pj, write_pj):\n"
+            "    total_pj = read_pj + write_pj\n"
+            "    _scratch = read_pj * 2\n"
+            "    return total_pj + _scratch\n"
+        )
+        assert suggest_suffix_renames(load_module(path)) == []
+
+    def test_cli_dry_run_reports_without_applying(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        source = (
+            "def f(read_pj, write_pj):\n"
+            "    total = read_pj + write_pj\n"
+            "    return total\n"
+        )
+        path.write_text(source)
+        assert main(["lint", str(path), "--fix-suffixes", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "rename local 'total' -> 'total_pj'" in out
+        assert "dry run" in out
+        assert path.read_text() == source  # reporting only, never rewrites
+
+    def test_cli_apply_mode_is_refused(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("x = 1\n")
+        with pytest.raises(SystemExit, match="dry-run"):
+            main(["lint", str(path), "--fix-suffixes"])
+
+
+def test_rate_sentinel_is_transparent_outside_products():
+    # RATE exists so `coeff * count` is untracked; it must never be a unit
+    # that additive or comparison checks treat as known.
+    assert SECONDS.dimension == "time"
+    assert RATE.dimension == "rate"
+    assert RATE != PJ and RATE != BYTES

@@ -1,0 +1,53 @@
+"""The units self-check: ``src/repro`` stays UNT-clean, pinned to a baseline.
+
+``units_baseline.json`` records the accepted UNT findings for the shipped
+package — currently none.  A PR that introduces a dimensional mismatch fails
+here with the exact file, line, and rule id; a PR that wants to *accept* a
+finding must edit the baseline, which makes every exception reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+BASELINE_PATH = Path(__file__).resolve().parent / "units_baseline.json"
+
+
+def load_baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_selects_the_whole_unt_family():
+    baseline = load_baseline()
+    assert baseline["version"] == 1
+    assert baseline["select"] == [
+        "UNT001",
+        "UNT002",
+        "UNT003",
+        "UNT004",
+        "UNT005",
+        "UNT006",
+    ]
+
+
+def test_package_matches_units_baseline():
+    baseline = load_baseline()
+    report = run_lint([PACKAGE_ROOT], select=baseline["select"])
+    actual = [
+        {
+            "path": str(Path(finding.path).relative_to(PACKAGE_ROOT)),
+            "line": finding.line,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+        for finding in report.findings
+    ]
+    assert actual == baseline["findings"], (
+        "UNT findings drifted from tests/units_baseline.json:\n"
+        + report.render_text(statistics=True)
+    )

@@ -1,0 +1,68 @@
+"""Unit tests for the :mod:`repro.units` runtime conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import (
+    BITS_PER_BYTE,
+    PJ_PER_NJ,
+    PJ_PER_PW_NS,
+    bits_to_bytes,
+    bytes_to_bits,
+    cycles_to_seconds,
+    nj_to_pj,
+    pj_to_nj,
+    pw_ns_to_pj,
+)
+
+
+def test_energy_round_trip():
+    assert pj_to_nj(1500.0) == pytest.approx(1.5)
+    assert nj_to_pj(1.5) == pytest.approx(1500.0)
+    assert nj_to_pj(pj_to_nj(42.0)) == pytest.approx(42.0)
+    assert PJ_PER_NJ == 1000.0
+
+
+def test_information_round_trip():
+    assert bytes_to_bits(64) == 512
+    assert bits_to_bytes(512) == 64
+    assert bits_to_bytes(bytes_to_bits(33)) == 33
+    assert BITS_PER_BYTE == 8
+
+
+def test_bits_to_bytes_rejects_partial_bytes():
+    with pytest.raises(ValueError, match="13"):
+        bits_to_bytes(13)
+
+
+def test_cycles_to_seconds():
+    assert cycles_to_seconds(200_000_000, 200e6) == pytest.approx(1.0)
+    assert cycles_to_seconds(100, 100e6) == pytest.approx(1e-6)
+
+
+def test_cycles_to_seconds_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError, match="0"):
+        cycles_to_seconds(100, 0.0)
+
+
+def test_pw_ns_to_pj_matches_the_documented_identity():
+    # 1 pW over 1 ns is 1e-21 J = 1e-9 pJ.
+    assert pw_ns_to_pj(1.0, 1.0) == pytest.approx(1e-9)
+    assert PJ_PER_PW_NS == 1e-9
+
+
+def test_leakage_model_routes_through_the_helper():
+    # The SRAM leakage formula must equal the helper composition exactly —
+    # this is the refactor-safety pin for memory/energy.py.
+    from repro.memory.energy import SRAMEnergyModel
+
+    model = SRAMEnergyModel()
+    capacity_bytes, cycles, cycle_time_ns = 4096, 1000, 10.0
+    expected = pw_ns_to_pj(
+        bytes_to_bits(capacity_bytes) * model.leakage_pw_per_bit,
+        cycles * cycle_time_ns,
+    )
+    assert model.leakage_energy(capacity_bytes, cycles, cycle_time_ns) == pytest.approx(
+        expected
+    )
