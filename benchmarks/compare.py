@@ -1,0 +1,156 @@
+"""Benchmark-regression gate for CI.
+
+Compares a fresh pytest-benchmark JSON export against the committed
+``benchmarks/baseline.json`` and exits non-zero when any benchmark regressed
+by more than the threshold (default 25%).
+
+Raw wall-clock times do not transfer between machines, so by default each
+benchmark's median is *normalized by the suite median* of its own run: the
+gate compares each benchmark's share of the suite, which is stable across
+hardware generations as long as the suite composition is.  Pass
+``--absolute`` to compare raw medians instead (only meaningful when baseline
+and candidate ran on the same machine).
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/compare.py bench.json                  # gate
+    python benchmarks/compare.py bench.json --update-baseline  # refresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """Benchmark name -> median seconds from a pytest-benchmark JSON export."""
+    data = json.loads(path.read_text())
+    medians: dict[str, float] = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("fullname") or entry["name"]
+        medians[name] = float(entry["stats"]["median"])
+    return medians
+
+
+def normalize(medians: dict[str, float]) -> dict[str, float]:
+    """Scale each median by the suite median (machine-speed normalization)."""
+    if not medians:
+        return {}
+    values = sorted(medians.values())
+    mid = len(values) // 2
+    suite_median = (
+        values[mid] if len(values) % 2 else (values[mid - 1] + values[mid]) / 2.0
+    )
+    if suite_median <= 0:
+        return dict(medians)
+    return {name: value / suite_median for name, value in medians.items()}
+
+
+def compare(
+    baseline: dict[str, float],
+    candidate: dict[str, float],
+    threshold: float,
+    absolute: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Return ``(regressions, notes)`` for a candidate run vs a baseline.
+
+    A regression is a benchmark whose (normalized) median exceeds the
+    baseline's by more than ``threshold``.  Benchmarks present on only one
+    side produce notes, not failures, so adding or retiring a benchmark does
+    not require touching the baseline in the same commit.
+    """
+    base = dict(baseline) if absolute else normalize(baseline)
+    cand = dict(candidate) if absolute else normalize(candidate)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name in sorted(base):
+        if name not in cand:
+            notes.append(f"missing from candidate run: {name}")
+            continue
+        reference = base[name]
+        measured = cand[name]
+        if reference <= 0:
+            continue
+        change = measured / reference - 1.0
+        if change > threshold:
+            regressions.append(
+                f"{name}: {change:+.1%} (baseline {reference:.4g}, "
+                f"measured {measured:.4g})"
+            )
+    for name in sorted(set(cand) - set(base)):
+        notes.append(f"new benchmark (no baseline yet): {name}")
+    return regressions, notes
+
+
+def update_baseline(candidate_path: Path, baseline_path: Path) -> None:
+    """Write the candidate run's medians as the new committed baseline."""
+    medians = load_medians(candidate_path)
+    payload = {
+        "note": (
+            "Committed benchmark baseline; regenerate with "
+            "`python benchmarks/compare.py <run.json> --update-baseline`."
+        ),
+        "medians": {name: medians[name] for name in sorted(medians)},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    """Medians stored by :func:`update_baseline`."""
+    data = json.loads(path.read_text())
+    return {name: float(value) for name, value in data["medians"].items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: compare a run against the baseline, or refresh it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", type=Path, help="pytest-benchmark JSON export")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw medians instead of suite-normalized ones",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baseline with the candidate run and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        update_baseline(args.candidate, args.baseline)
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    regressions, notes = compare(
+        load_baseline(args.baseline),
+        load_medians(args.candidate),
+        args.threshold,
+        absolute=args.absolute,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} benchmark regression(s) > {args.threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"benchmarks OK: no regression > {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

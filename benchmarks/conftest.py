@@ -7,15 +7,9 @@ one run of each experiment is what the paper reports.  Run with::
     pytest benchmarks/ --benchmark-only -s
 
 ``-s`` shows the regenerated tables.
+
+The bare-checkout import fallback lives in the repository-root conftest.py,
+which pytest loads before this file.
 """
 
 from __future__ import annotations
-
-import sys
-from pathlib import Path
-
-try:
-    import repro  # noqa: F401  (pip-installed or PYTHONPATH already set)
-except ModuleNotFoundError:
-    # Running from a bare checkout: make src/ importable without PYTHONPATH.
-    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))

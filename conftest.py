@@ -1,0 +1,23 @@
+"""Repository-level pytest configuration.
+
+Holds the one copy of the bare-checkout import fallback shared by the
+``tests/`` and ``benchmarks/`` suites: when the package is not installed
+(no ``pip install -e .``), make ``src/`` importable so both suites run
+straight from a clone without ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def ensure_repro_importable() -> None:
+    """Make ``src/`` importable when running from a bare checkout."""
+    try:
+        import repro  # noqa: F401  (pip-installed or PYTHONPATH already set)
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+
+ensure_repro_importable()

@@ -236,6 +236,23 @@ _ENERGY_FUNCTIONS: dict[str, FunctionUnits] = {
     "measured_cache_path_energy": _pj(),
 }
 
+#: Columnar-engine surface (:mod:`repro.trace.columnar` and the vectorized
+#: playback built on it).  The kernels return counts or tuples — no tracked
+#: unit — but their cycle/byte parameters participate in the dataflow, and
+#: registering them keeps the suffix fallback from guessing.
+_COLUMNAR_FUNCTIONS: dict[str, FunctionUnits] = {
+    "repro.trace.columnar.idle_interval_split": FunctionUnits(
+        None, {"timeout_cycles": CYCLES}, None
+    ),
+    "repro.trace.columnar.assign_banks": FunctionUnits(None, {}, None),
+    "repro.trace.columnar.per_bank_read_write_counts": FunctionUnits(None, {}, None),
+    "repro.trace.columnar.use_columnar": FunctionUnits(None, {}, None),
+    # ColumnarTrace summaries: block indices and an address tuple (bytes are
+    # the elements, not the tuple, so the return stays untracked).
+    "block_ids": FunctionUnits(None, {"block_size": BYTES}, ("block_size",)),
+    "address_range": FunctionUnits(None, {}, None),
+}
+
 #: Attribute names with package-wide unambiguous units.  Names that are
 #: energy in one class and something else in another (``total`` is pJ on
 #: EnergyBreakdown but an access *count* on BlockStats) are deliberately
@@ -303,7 +320,7 @@ _ATTRIBUTES: dict[str, Unit] = {
 #: energy-bearing packages.
 REPRO_UNIT_MODEL = UnitModel(
     suffixes=_SUFFIXES,
-    functions={**_CONVERSION_HELPERS, **_ENERGY_FUNCTIONS},
+    functions={**_CONVERSION_HELPERS, **_ENERGY_FUNCTIONS, **_COLUMNAR_FUNCTIONS},
     attributes=_ATTRIBUTES,
     literal_allowlist=frozenset(),
     canonical_suffixes={

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..trace.columnar import ColumnarTrace
 from ..trace.profile import AccessProfile
 from ..trace.trace import Trace
 
@@ -90,6 +91,41 @@ class BlockLayout:
     def remap_trace(self, trace: Trace) -> Trace:
         """Remap every event of ``trace`` into layout space."""
         return trace.remap(self.remap_address, name=f"{trace.name}@{self.name}")
+
+    def remap_columnar(self, columnar: ColumnarTrace) -> ColumnarTrace:
+        """Vectorized :meth:`remap_trace` over a columnar trace.
+
+        Position lookup is one ``searchsorted`` against the sorted block
+        order; addresses of blocks absent from the layout raise ``KeyError``
+        exactly like the scalar path.
+        """
+        blocks = columnar.addresses // self.block_size
+        offsets = columnar.addresses - blocks * self.block_size
+        order_array = np.asarray(self.order, dtype=np.int64)
+        if not len(columnar):
+            return ColumnarTrace.from_arrays(
+                [], [], name=f"{columnar.name}@{self.name}"
+            )
+        if not len(order_array):
+            raise KeyError(int(blocks[0]))
+        sort_order = np.argsort(order_array, kind="stable")
+        sorted_blocks = order_array[sort_order]
+        index = np.searchsorted(sorted_blocks, blocks)
+        clipped = np.minimum(index, len(sorted_blocks) - 1)
+        missing = (index >= len(sorted_blocks)) | (sorted_blocks[clipped] != blocks)
+        if np.any(missing):
+            raise KeyError(int(blocks[np.argmax(missing)]))
+        positions = sort_order[clipped]
+        return ColumnarTrace(
+            addresses=positions * self.block_size + offsets,
+            timestamps=columnar.timestamps,
+            kinds=columnar.kinds,
+            sizes=columnar.sizes,
+            spaces=columnar.spaces,
+            values=columnar.values,
+            value_mask=columnar.value_mask,
+            name=f"{columnar.name}@{self.name}",
+        )
 
     def counts_in_order(self, profile: AccessProfile) -> tuple[np.ndarray, np.ndarray]:
         """Per-block ``(reads, writes)`` arrays aligned with the layout order."""

@@ -24,6 +24,7 @@ from ..partition.evaluate import SimulatedPartitionEnergy, simulate_partition
 from ..partition.greedy import EvenPartitioner, GreedyPartitioner
 from ..partition.optimal import OptimalPartitioner, PartitionResult
 from ..partition.spec import PartitionSpec
+from ..trace.columnar import use_columnar
 from ..trace.profile import AccessProfile
 from ..trace.trace import Trace
 from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
@@ -193,7 +194,12 @@ class MemoryOptimizationFlow:
         else:
             partitioner = config.make_partitioner()
             result = partitioner.partition(cost_model)
-        layout_trace = layout.remap_trace(data_trace)
+        if use_columnar(data_trace):
+            # Above the columnar threshold the whole playback chain stays
+            # in array form: vectorized remap feeds vectorized simulation.
+            layout_trace = layout.remap_columnar(data_trace.columnar())
+        else:
+            layout_trace = layout.remap_trace(data_trace)
         simulated = simulate_partition(
             result.spec,
             layout_trace,

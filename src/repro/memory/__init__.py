@@ -4,7 +4,13 @@ from .bank import MemoryBank
 from .energy import BusEnergyModel, DecoderEnergyModel, DRAMEnergyModel, SRAMEnergyModel
 from .mainmem import MainMemory
 from .partitioned import AccessOutsideMemoryError, MonolithicMemory, PartitionedMemory
-from .sleep import BankSleepReport, SleepPolicy, simulate_bank_sleep
+from .sleep import (
+    BankSleepReport,
+    SleepPolicy,
+    simulate_bank_sleep,
+    simulate_bank_sleep_columnar,
+    simulate_bank_sleep_scalar,
+)
 
 __all__ = [
     "SRAMEnergyModel",
@@ -19,4 +25,6 @@ __all__ = [
     "SleepPolicy",
     "BankSleepReport",
     "simulate_bank_sleep",
+    "simulate_bank_sleep_scalar",
+    "simulate_bank_sleep_columnar",
 ]

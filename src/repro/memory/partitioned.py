@@ -13,8 +13,16 @@ against (one big SRAM, no decoder overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Union
 
+import numpy as np
+
+from ..trace.columnar import (
+    ColumnarTrace,
+    assign_banks,
+    per_bank_read_write_counts,
+    use_columnar,
+)
 from ..trace.events import MemoryAccess
 from ..trace.trace import Trace
 from .bank import MemoryBank
@@ -117,28 +125,97 @@ class PartitionedMemory:
         self._decoder_energy += decoder_pj
         return bank_pj + decoder_pj
 
-    def play(self, trace: Trace, include_leakage: bool = False) -> MemoryEnergyReport:
+    def play(
+        self, trace: Union[Trace, ColumnarTrace], include_leakage: bool = False
+    ) -> MemoryEnergyReport:
         """Play a whole trace; return the energy report.
 
         When ``include_leakage`` is set, every bank leaks for the full trace
         duration (timestamp span), which penalizes over-provisioned banks.
+
+        Traces at or above the columnar threshold (and any
+        :class:`~repro.trace.columnar.ColumnarTrace`) are routed through
+        :meth:`play_vectorized`; smaller scalar traces take
+        :meth:`play_scalar`.  Both produce bit-identical reports.
+        """
+        if use_columnar(trace):
+            if isinstance(trace, Trace):
+                trace = trace.columnar()
+            return self.play_vectorized(trace, include_leakage=include_leakage)
+        return self.play_scalar(trace, include_leakage=include_leakage)
+
+    def play_scalar(self, trace: Trace, include_leakage: bool = False) -> MemoryEnergyReport:
+        """Reference implementation of :meth:`play`: one event at a time.
+
+        Each event is routed to its bank (binary search) and counted; the
+        energy report is then assembled from the per-bank counters, so the
+        arithmetic — per-bank ``count x coefficient`` products summed in
+        bank order — is shared with :meth:`play_vectorized` and the two
+        paths agree to the bit.
         """
         self.reset_counters()
-        bank_pj = 0.0
         for event in trace:
             bank = self.bank_for(event.address)
-            bank_pj += bank.write() if event.is_write else bank.read()
-        decoder_pj = len(trace) * self.decoder_model.access_energy(self.num_banks)
+            if event.is_write:
+                bank.writes += 1
+            else:
+                bank.reads += 1
+        duration_cycles = 0
+        if len(trace):
+            duration_cycles = trace.events[-1].time - trace.events[0].time + 1
+        return self._report_from_counters(len(trace), duration_cycles, include_leakage)
+
+    def play_vectorized(
+        self, trace: ColumnarTrace, include_leakage: bool = False
+    ) -> MemoryEnergyReport:
+        """Vectorized :meth:`play`: bank assignment via ``searchsorted``,
+        per-bank access counts via ``bincount``.
+
+        Produces reports bit-identical to :meth:`play_scalar` (the same
+        per-bank ``count x coefficient`` sums, in the same order).  Unlike
+        the scalar path, addresses are validated up front, so a trace that
+        raises :class:`AccessOutsideMemoryError` leaves the counters reset
+        instead of partially updated.
+        """
+        self.reset_counters()
+        bank_bases = np.fromiter((bank.base for bank in self.banks), dtype=np.int64)
+        bank_limits = np.fromiter((bank.limit for bank in self.banks), dtype=np.int64)
+        try:
+            bank_ids = assign_banks(trace.addresses, bank_bases, bank_limits)
+        except ValueError:
+            outside = (trace.addresses < self.base) | (trace.addresses >= self.limit)
+            offender = int(trace.addresses[np.argmax(outside)])
+            raise AccessOutsideMemoryError(
+                f"address {offender:#x} outside memory [{self.base:#x}, {self.limit:#x})"
+            ) from None
+        reads, writes = per_bank_read_write_counts(bank_ids, trace.kinds, self.num_banks)
+        for bank, bank_reads, bank_writes in zip(self.banks, reads, writes):
+            bank.reads = int(bank_reads)
+            bank.writes = int(bank_writes)
+        return self._report_from_counters(
+            len(trace), trace.duration_cycles(), include_leakage
+        )
+
+    def _report_from_counters(
+        self, accesses: int, duration_cycles: int, include_leakage: bool
+    ) -> MemoryEnergyReport:
+        """Assemble the energy report from the per-bank counters.
+
+        This is the single definition of the playback arithmetic: both the
+        scalar and the vectorized path land here with identical counters,
+        which is what makes their reports bit-identical.
+        """
+        bank_pj = sum(bank.dynamic_energy for bank in self.banks)
+        decoder_pj = accesses * self.decoder_model.access_energy(self.num_banks)
         self._decoder_energy = decoder_pj
         leakage_pj = 0.0
-        if include_leakage and len(trace):
-            duration_cycles = trace.events[-1].time - trace.events[0].time + 1
+        if include_leakage and accesses:
             leakage_pj = sum(bank.leakage_energy(duration_cycles) for bank in self.banks)
         return MemoryEnergyReport(
             bank_energy=bank_pj,
             decoder_energy=decoder_pj,
             leakage_energy=leakage_pj,
-            accesses=len(trace),
+            accesses=accesses,
         )
 
     def reset_counters(self) -> None:

@@ -17,11 +17,26 @@ granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
+import numpy as np
+
+from ..trace.columnar import (
+    ColumnarTrace,
+    assign_banks,
+    idle_interval_split,
+    use_columnar,
+)
 from ..trace.trace import Trace
 from .energy import SRAMEnergyModel
 
-__all__ = ["SleepPolicy", "BankSleepReport", "simulate_bank_sleep"]
+__all__ = [
+    "SleepPolicy",
+    "BankSleepReport",
+    "simulate_bank_sleep",
+    "simulate_bank_sleep_scalar",
+    "simulate_bank_sleep_columnar",
+]
 
 
 @dataclass(frozen=True)
@@ -79,7 +94,7 @@ class BankSleepReport:
 def simulate_bank_sleep(
     bank_sizes: list[int],
     bank_bases: list[int],
-    layout_trace: Trace,
+    layout_trace: Union[Trace, ColumnarTrace],
     policy: SleepPolicy,
     sram_model: SRAMEnergyModel | None = None,
     cycle_time_ns: float = 10.0,
@@ -88,12 +103,46 @@ def simulate_bank_sleep(
 
     ``bank_bases[i]``/``bank_sizes[i]`` describe the address window of bank
     ``i`` (contiguous, ascending).  Timestamps in the trace are cycles.
+
+    Traces at or above the columnar threshold (and any
+    :class:`~repro.trace.columnar.ColumnarTrace`) are routed through
+    :func:`simulate_bank_sleep_columnar`; smaller scalar traces take
+    :func:`simulate_bank_sleep_scalar`.  Both produce bit-identical reports.
     """
+    if use_columnar(layout_trace):
+        if isinstance(layout_trace, Trace):
+            layout_trace = layout_trace.columnar()
+        return simulate_bank_sleep_columnar(
+            bank_sizes, bank_bases, layout_trace, policy, sram_model, cycle_time_ns
+        )
+    return simulate_bank_sleep_scalar(
+        bank_sizes, bank_bases, layout_trace, policy, sram_model, cycle_time_ns
+    )
+
+
+def _check_bank_geometry(bank_sizes: list[int], bank_bases: list[int]) -> None:
+    """Validate the parallel bank-geometry lists."""
     if len(bank_sizes) != len(bank_bases):
         raise ValueError(
             f"bank_sizes ({len(bank_sizes)}) and bank_bases "
             f"({len(bank_bases)}) must align"
         )
+
+
+def simulate_bank_sleep_scalar(
+    bank_sizes: list[int],
+    bank_bases: list[int],
+    layout_trace: Trace,
+    policy: SleepPolicy,
+    sram_model: SRAMEnergyModel | None = None,
+    cycle_time_ns: float = 10.0,
+) -> BankSleepReport:
+    """Reference implementation of :func:`simulate_bank_sleep`.
+
+    One event at a time; the per-bank accounting arithmetic is shared with
+    the columnar path via :func:`_accumulate_sleep_report`.
+    """
+    _check_bank_geometry(bank_sizes, bank_bases)
     if sram_model is None:
         sram_model = SRAMEnergyModel()
     if not len(layout_trace):
@@ -101,9 +150,8 @@ def simulate_bank_sleep(
 
     start_cycles = layout_trace.events[0].time
     end_cycles = layout_trace.events[-1].time
-    duration_cycles = end_cycles - start_cycles + 1
 
-    # Per-bank sorted access times.
+    # Per-bank access times, in trace order.
     access_times: list[list[int]] = [[] for _ in bank_sizes]
     limits = [base + size for base, size in zip(bank_bases, bank_sizes)]
     for event in layout_trace:
@@ -114,6 +162,124 @@ def simulate_bank_sleep(
         else:
             raise ValueError(f"address {event.address:#x} outside every bank")
 
+    per_bank: list[tuple[int, int, int]] = []
+    for times in access_times:
+        if not times:
+            per_bank.append((0, 0, 0))
+            continue
+        awake_cycles = 0
+        asleep_cycles = 0
+        wakes = 0
+        for previous, current in zip(times, times[1:]):
+            gap_cycles = current - previous
+            if gap_cycles > policy.timeout_cycles:
+                awake_cycles += policy.timeout_cycles
+                asleep_cycles += gap_cycles - policy.timeout_cycles
+                wakes += 1
+            else:
+                awake_cycles += gap_cycles
+        per_bank.append((awake_cycles, asleep_cycles, wakes))
+
+    first_times = [times[0] if times else None for times in access_times]
+    last_times = [times[-1] if times else None for times in access_times]
+    return _accumulate_sleep_report(
+        bank_sizes,
+        per_bank,
+        first_times,
+        last_times,
+        start_cycles,
+        end_cycles,
+        policy,
+        sram_model,
+        cycle_time_ns,
+    )
+
+
+def simulate_bank_sleep_columnar(
+    bank_sizes: list[int],
+    bank_bases: list[int],
+    layout_trace: ColumnarTrace,
+    policy: SleepPolicy,
+    sram_model: SRAMEnergyModel | None = None,
+    cycle_time_ns: float = 10.0,
+) -> BankSleepReport:
+    """Batched :func:`simulate_bank_sleep`: idle-interval detection with
+    :func:`numpy.diff` over per-bank timestamp groups.
+
+    Bank assignment is one ``searchsorted``; a stable sort groups each
+    bank's timestamps while preserving trace order; the integer gap
+    arithmetic is exact, and the final float accumulation is shared with
+    the scalar reference — reports are bit-identical.
+    """
+    _check_bank_geometry(bank_sizes, bank_bases)
+    if sram_model is None:
+        sram_model = SRAMEnergyModel()
+    if not len(layout_trace):
+        return BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+
+    start_cycles = int(layout_trace.timestamps[0])
+    end_cycles = int(layout_trace.timestamps[-1])
+
+    bases = np.asarray(bank_bases, dtype=np.int64)
+    limits = bases + np.asarray(bank_sizes, dtype=np.int64)
+    bank_ids = assign_banks(layout_trace.addresses, bases, limits)
+
+    # Group timestamps by bank, preserving trace order within each bank.
+    order = np.argsort(bank_ids, kind="stable")
+    grouped_banks = bank_ids[order]
+    grouped_times = layout_trace.timestamps[order]
+    boundaries = np.flatnonzero(np.diff(grouped_banks)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(grouped_banks)]))
+    segment_of = {int(grouped_banks[s]): (int(s), int(e)) for s, e in zip(starts, ends)}
+
+    per_bank: list[tuple[int, int, int]] = []
+    first_times: list[int | None] = []
+    last_times: list[int | None] = []
+    for index in range(len(bank_sizes)):
+        segment = segment_of.get(index)
+        if segment is None:
+            per_bank.append((0, 0, 0))
+            first_times.append(None)
+            last_times.append(None)
+            continue
+        times = grouped_times[segment[0] : segment[1]]
+        per_bank.append(idle_interval_split(times, policy.timeout_cycles))
+        first_times.append(int(times[0]))
+        last_times.append(int(times[-1]))
+
+    return _accumulate_sleep_report(
+        bank_sizes,
+        per_bank,
+        first_times,
+        last_times,
+        start_cycles,
+        end_cycles,
+        policy,
+        sram_model,
+        cycle_time_ns,
+    )
+
+
+def _accumulate_sleep_report(
+    bank_sizes: list[int],
+    per_bank: list[tuple[int, int, int]],
+    first_times: list,
+    last_times: list,
+    start_cycles: int,
+    end_cycles: int,
+    policy: SleepPolicy,
+    sram_model: SRAMEnergyModel,
+    cycle_time_ns: float,
+) -> BankSleepReport:
+    """Fold per-bank gap splits into the final report.
+
+    This is the single definition of the leakage arithmetic: the scalar and
+    columnar paths both land here with identical integer cycle counts, and
+    the float accumulation visits banks in index order, so the two paths'
+    reports are bit-identical.
+    """
+    duration_cycles = end_cycles - start_cycles + 1
     always_on_pj = sum(
         sram_model.leakage_energy(size, duration_cycles, cycle_time_ns)
         for size in bank_sizes
@@ -124,31 +290,22 @@ def simulate_bank_sleep(
     total_bank_cycles = duration_cycles * len(bank_sizes)
 
     for index, size in enumerate(bank_sizes):
-        times = access_times[index]
         leak_pj_per_cycle = sram_model.leakage_energy(size, 1, cycle_time_ns)
-        if not times:
+        if first_times[index] is None:
             # Never touched: asleep for the whole run (one initial wake saved).
             asleep_cycles = duration_cycles
             managed_pj += asleep_cycles * leak_pj_per_cycle * policy.sleep_factor
             asleep_bank_cycles += asleep_cycles
             continue
-        awake_cycles = 0
-        asleep_cycles = 0
+        awake_cycles, asleep_cycles, gap_wakes = per_bank[index]
+        wakes += gap_wakes
         # Idle gap before the first access (bank starts asleep).
-        lead_cycles = times[0] - start_cycles
+        lead_cycles = first_times[index] - start_cycles
         asleep_cycles += lead_cycles
         if lead_cycles > 0:
             wakes += 1
-        for previous, current in zip(times, times[1:]):
-            gap_cycles = current - previous
-            if gap_cycles > policy.timeout_cycles:
-                awake_cycles += policy.timeout_cycles
-                asleep_cycles += gap_cycles - policy.timeout_cycles
-                wakes += 1
-            else:
-                awake_cycles += gap_cycles
         # Tail after the last access: awake until timeout, then asleep.
-        tail_cycles = end_cycles - times[-1] + 1
+        tail_cycles = end_cycles - last_times[index] + 1
         awake_cycles += min(tail_cycles, policy.timeout_cycles)
         asleep_cycles += max(0, tail_cycles - policy.timeout_cycles)
         managed_pj += (

@@ -10,9 +10,13 @@ must agree — the test suite asserts it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
 from ..memory.partitioned import PartitionedMemory
+from ..trace.columnar import ColumnarTrace
 from ..trace.trace import Trace
 from .spec import PartitionSpec
 
@@ -51,7 +55,7 @@ def build_memory(
 
 def simulate_partition(
     spec: PartitionSpec,
-    layout_trace: Trace,
+    layout_trace: Union[Trace, ColumnarTrace],
     sram_model: SRAMEnergyModel | None = None,
     decoder_model: DecoderEnergyModel | None = None,
     include_leakage: bool = False,
@@ -88,7 +92,7 @@ def simulate_partition(
 
 def _simulate_rounded(
     spec: PartitionSpec,
-    layout_trace: Trace,
+    layout_trace: Union[Trace, ColumnarTrace],
     sram_model: SRAMEnergyModel | None,
     decoder_model: DecoderEnergyModel | None,
     include_leakage: bool,
@@ -110,7 +114,10 @@ def _simulate_rounded(
                 low = mid + 1
         return physical_bases[low] + (address - exact_edges[low])
 
-    translated = layout_trace.remap(translate)
+    if isinstance(layout_trace, ColumnarTrace):
+        translated = _translate_columnar(layout_trace, exact_edges, physical_bases)
+    else:
+        translated = layout_trace.remap(translate)
     report = memory.play(translated, include_leakage=include_leakage)
     return SimulatedPartitionEnergy(
         bank_energy=report.bank_energy,
@@ -118,4 +125,34 @@ def _simulate_rounded(
         leakage_energy=report.leakage_energy,
         accesses=report.accesses,
         bank_access_counts=tuple(memory.bank_access_counts()),
+    )
+
+
+def _translate_columnar(
+    layout_trace: ColumnarTrace,
+    exact_edges: list[int],
+    physical_bases: list[int],
+) -> ColumnarTrace:
+    """Vectorized exact-extent → physical-bank address translation.
+
+    One ``searchsorted`` against the exact upper edges replaces the scalar
+    per-address binary search; out-of-range addresses clamp to the last bank,
+    matching the scalar ``translate`` closure above.
+    """
+    uppers = np.asarray(exact_edges[1:], dtype=np.int64)
+    lowers = np.asarray(exact_edges[:-1], dtype=np.int64)
+    bases = np.asarray(physical_bases, dtype=np.int64)
+    bank_ids = np.minimum(
+        np.searchsorted(uppers, layout_trace.addresses, side="right"),
+        len(uppers) - 1,
+    )
+    return ColumnarTrace(
+        addresses=bases[bank_ids] + (layout_trace.addresses - lowers[bank_ids]),
+        timestamps=layout_trace.timestamps,
+        kinds=layout_trace.kinds,
+        sizes=layout_trace.sizes,
+        spaces=layout_trace.spaces,
+        values=layout_trace.values,
+        value_mask=layout_trace.value_mask,
+        name=layout_trace.name,
     )

@@ -25,6 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..trace.columnar import COLUMNAR_THRESHOLD
 from .model import Application, DataSet, Kernel, ReconfigArchitecture, ScheduleEnergy
 
 __all__ = ["NaiveScheduler", "EnergyAwareScheduler", "Schedule", "evaluate_schedule"]
@@ -222,12 +225,26 @@ class EnergyAwareScheduler:
 
     @staticmethod
     def _knapsack(items: list[tuple[str, int, float]], capacity: int) -> frozenset:
-        """Exact 0/1 knapsack via DP on (coarse-grained) size."""
+        """Exact 0/1 knapsack via DP on (coarse-grained) size.
+
+        Large DP tables take the vectorized row-update path; both paths do
+        the same float comparisons in the same order, so they pick the same
+        set (strict-improvement tie-break included).
+        """
         if not items:
             return frozenset()
         # Quantize sizes to 16-byte grains to bound the DP table.
         grain = 16
         slots = capacity // grain
+        if (slots + 1) * len(items) >= COLUMNAR_THRESHOLD:
+            return EnergyAwareScheduler._knapsack_vectorized(items, slots, grain)
+        return EnergyAwareScheduler._knapsack_scalar(items, slots, grain)
+
+    @staticmethod
+    def _knapsack_scalar(
+        items: list[tuple[str, int, float]], slots: int, grain: int
+    ) -> frozenset:
+        """Reference DP: in-place descending room update, chosen-list tracking."""
         best = [0.0] * (slots + 1)
         chosen: list[list[str]] = [[] for _ in range(slots + 1)]
         for name, size, value in sorted(items, key=lambda item: item[0]):
@@ -239,6 +256,36 @@ class EnergyAwareScheduler:
                     chosen[room] = chosen[room - weight] + [name]
         top = max(range(slots + 1), key=lambda room: best[room])
         return frozenset(chosen[top])
+
+    @staticmethod
+    def _knapsack_vectorized(
+        items: list[tuple[str, int, float]], slots: int, grain: int
+    ) -> frozenset:
+        """Vectorized DP rows + take-mask backtracking.
+
+        The descending in-place update of the scalar reference reads only
+        not-yet-updated cells, i.e. previous-row values — exactly what one
+        whole-row ``where`` computes.  Recorded take masks reconstruct the
+        same chosen set the scalar path accumulates eagerly.
+        """
+        best = np.zeros(slots + 1, dtype=np.float64)
+        takes: list[tuple[str, int, np.ndarray | None]] = []
+        for name, size, value in sorted(items, key=lambda item: item[0]):
+            weight = (size + grain - 1) // grain
+            if weight > slots:
+                takes.append((name, weight, None))
+                continue
+            candidate = best[: slots + 1 - weight] + value
+            take = candidate > best[weight:]
+            best[weight:] = np.where(take, candidate, best[weight:])
+            takes.append((name, weight, take))
+        room = int(np.argmax(best))
+        chosen: list[str] = []
+        for name, weight, take in reversed(takes):
+            if take is not None and room >= weight and take[room - weight]:
+                chosen.append(name)
+                room -= weight
+        return frozenset(chosen)
 
     def schedule(self, application: Application, architecture: ReconfigArchitecture) -> Schedule:
         """Produce the energy-aware schedule."""

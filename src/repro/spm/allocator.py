@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..memory.energy import SRAMEnergyModel
+from ..trace.columnar import use_columnar
 from ..trace.profile import AccessProfile
 
 __all__ = ["SPMConfig", "SPMAllocation", "SPMAllocator"]
@@ -98,9 +101,18 @@ class SPMAllocator:
                 predicted_benefit=0.0,
             )
         counts = profile.access_counts()
-        ranked = sorted(counts, key=lambda block: (-counts[block], block))
-        chosen = ranked[:capacity_blocks]
-        benefit_pj = saving_pj * sum(counts[block] for block in chosen)
+        if use_columnar(profile.trace):
+            # Vectorized exact top-k: lexsort on (-count, block) reproduces
+            # the scalar ranking, deterministic tie-break included.
+            blocks = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+            totals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+            picked = np.lexsort((blocks, -totals))[:capacity_blocks]
+            chosen = blocks[picked].tolist()
+            benefit_pj = saving_pj * int(totals[picked].sum())
+        else:
+            ranked = sorted(counts, key=lambda block: (-counts[block], block))
+            chosen = ranked[:capacity_blocks]
+            benefit_pj = saving_pj * sum(counts[block] for block in chosen)
         return SPMAllocation(
             blocks=frozenset(chosen),
             block_size=profile.block_size,

@@ -1,5 +1,6 @@
 """Trace infrastructure: events, containers, profiles, generators, file I/O."""
 
+from .columnar import COLUMNAR_THRESHOLD, ColumnarTrace, use_columnar
 from .events import AccessKind, AddressSpace, MemoryAccess
 from .io import load_npz, load_text, save_npz, save_text
 from .phases import Phase, PhaseDetector, PhaseSegmentation
@@ -27,6 +28,9 @@ __all__ = [
     "AddressSpace",
     "MemoryAccess",
     "Trace",
+    "ColumnarTrace",
+    "COLUMNAR_THRESHOLD",
+    "use_columnar",
     "AccessProfile",
     "BlockStats",
     "reuse_distances",

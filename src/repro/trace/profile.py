@@ -21,9 +21,11 @@ from __future__ import annotations
 
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
+from typing import Union
 
 import numpy as np
 
+from .columnar import KIND_WRITE, ColumnarTrace, use_columnar
 from .trace import Trace
 
 __all__ = ["BlockStats", "AccessProfile", "reuse_distances"]
@@ -90,16 +92,21 @@ class AccessProfile:
         unit the partitioner and clustering algorithms move around.
     """
 
-    def __init__(self, trace: Trace, block_size: int = 32) -> None:
+    def __init__(self, trace: Union[Trace, ColumnarTrace], block_size: int = 32) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
         self.block_size = block_size
         self.trace = trace
         self._stats: dict[int, BlockStats] = {}
         self._sequence: list[int] = []
-        self._build()
+        if use_columnar(trace):
+            columnar = trace if isinstance(trace, ColumnarTrace) else trace.columnar()
+            self._build_columnar(columnar)
+        else:
+            self._build()
 
     def _build(self) -> None:
+        """Reference profile construction: one event at a time."""
         for event in self.trace:
             block = event.block(self.block_size)
             self._sequence.append(block)
@@ -112,6 +119,39 @@ class AccessProfile:
             else:
                 stats.writes += 1
             stats.last_time = event.time
+
+    def _build_columnar(self, columnar: ColumnarTrace) -> None:
+        """Vectorized profile construction over a columnar trace.
+
+        Per-block read/write counts come from one ``bincount`` each;
+        first/last access times are recovered from first/last occurrence
+        indices.  The stats dict is populated in first-encounter order to
+        match the scalar reference exactly (consumers break ties on dict
+        order).
+        """
+        blocks = columnar.block_ids(self.block_size)
+        self._sequence = blocks.tolist()
+        if not len(blocks):
+            return
+        unique, first_index, inverse = np.unique(
+            blocks, return_index=True, return_inverse=True
+        )
+        write_mask = columnar.kinds == KIND_WRITE
+        writes = np.bincount(inverse[write_mask], minlength=len(unique))
+        totals = np.bincount(inverse, minlength=len(unique))
+        reads = totals - writes
+        last_index = np.empty(len(unique), dtype=np.int64)
+        last_index[inverse] = np.arange(len(blocks))
+        times = columnar.timestamps
+        for position in np.argsort(first_index, kind="stable").tolist():
+            block = int(unique[position])
+            self._stats[block] = BlockStats(
+                block=block,
+                reads=int(reads[position]),
+                writes=int(writes[position]),
+                first_time=int(times[first_index[position]]),
+                last_time=int(times[last_index[position]]),
+            )
 
     # -- basic queries ------------------------------------------------------------
 
@@ -154,11 +194,8 @@ class AccessProfile:
         """Fraction of consecutive accesses landing within one block of each other."""
         if len(self._sequence) < 2:
             return 1.0
-        near = sum(
-            1
-            for previous, current in zip(self._sequence, self._sequence[1:])
-            if abs(current - previous) <= 1
-        )
+        sequence = np.asarray(self._sequence, dtype=np.int64)
+        near = int(np.count_nonzero(np.abs(np.diff(sequence)) <= 1))
         return near / (len(self._sequence) - 1)
 
     def temporal_locality(self) -> float:
@@ -203,6 +240,8 @@ class AccessProfile:
         """
         if window <= 1:
             raise ValueError(f"window must be > 1, got {window}")
+        if len(self._sequence) >= 2 and use_columnar(self.trace):
+            return self._affinity_matrix_vectorized(window)
         affinity: dict[tuple[int, int], int] = {}
         recent: list[int] = []
         for block in self._sequence:
@@ -214,6 +253,56 @@ class AccessProfile:
             recent.append(block)
             if len(recent) > window - 1:
                 recent.pop(0)
+        return affinity
+
+    def _affinity_matrix_vectorized(self, window: int) -> dict[tuple[int, int], int]:
+        """Vectorized :meth:`affinity_matrix`.
+
+        Enumerates co-occurring pairs one window *offset* at a time —
+        ``window - 1`` array passes instead of a Python inner loop per event.
+        Pair counts are exact, and the result dict is populated in the
+        scalar reference's first-encounter order (clustering breaks affinity
+        ties on dict order, so the order is part of the contract).
+        """
+        sequence = np.asarray(self._sequence, dtype=np.int64)
+        compact, dense = np.unique(sequence, return_inverse=True)
+        span = len(compact)
+        # pair key -> [count, first-encounter rank]; the rank reproduces the
+        # scalar insertion order: at event i the reference pairs against the
+        # window oldest-first, so rank (i * window - offset) orders first by
+        # event, then by descending offset.
+        merged: dict[int, list[int]] = {}
+        for offset in range(1, window):
+            if offset >= len(dense):
+                break
+            current = dense[offset:]
+            previous = dense[:-offset]
+            mask = current != previous
+            if not np.any(mask):
+                continue
+            low = np.minimum(current[mask], previous[mask])
+            high = np.maximum(current[mask], previous[mask])
+            keys = low * span + high
+            unique_keys, first_index, counts = np.unique(
+                keys, return_index=True, return_counts=True
+            )
+            event_index = np.flatnonzero(mask)[first_index] + offset
+            ranks = event_index * window - offset
+            for key, count, rank in zip(
+                unique_keys.tolist(), counts.tolist(), ranks.tolist()
+            ):
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [count, rank]
+                elif rank < entry[1]:
+                    entry[0] += count
+                    entry[1] = rank
+                else:
+                    entry[0] += count
+        affinity: dict[tuple[int, int], int] = {}
+        for key, (count, _rank) in sorted(merged.items(), key=lambda item: item[1][1]):
+            pair = (int(compact[key // span]), int(compact[key % span]))
+            affinity[pair] = count
         return affinity
 
     def summary(self) -> dict[str, float]:

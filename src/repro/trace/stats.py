@@ -18,6 +18,11 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from typing import Union
+
+import numpy as np
+
+from .columnar import ColumnarTrace, use_columnar
 
 from .trace import Trace
 
@@ -30,11 +35,39 @@ __all__ = [
 ]
 
 
-def stride_histogram(trace: Trace, top: int | None = None) -> list[tuple[int, int]]:
+def _columnar_view(trace: Union[Trace, ColumnarTrace]) -> ColumnarTrace:
+    """Columnar view of ``trace`` (cached on scalar traces)."""
+    return trace if isinstance(trace, ColumnarTrace) else trace.columnar()
+
+
+def _ranked_counts(values: np.ndarray) -> list[tuple[int, int]]:
+    """``(value, count)`` pairs ordered like ``Counter.most_common``.
+
+    Count descending, ties broken by first encounter in ``values`` — the
+    order ``Counter`` inherits from dict insertion.
+    """
+    unique, first_index, counts = np.unique(
+        values, return_index=True, return_counts=True
+    )
+    order = sorted(range(len(unique)), key=lambda i: (-counts[i], first_index[i]))
+    return [(int(unique[i]), int(counts[i])) for i in order]
+
+
+def stride_histogram(
+    trace: Union[Trace, ColumnarTrace], top: int | None = None
+) -> list[tuple[int, int]]:
     """Histogram of consecutive address deltas, most frequent first.
 
-    Returns ``(stride, count)`` pairs; ``top`` truncates the list.
+    Returns ``(stride, count)`` pairs; ``top`` truncates the list.  Large
+    traces take a vectorized path (``diff`` + ``unique``) that reproduces
+    the scalar ranking exactly, ties included.
     """
+    if use_columnar(trace):
+        columnar = _columnar_view(trace)
+        if len(columnar) < 2:
+            return []
+        ranked = _ranked_counts(np.diff(columnar.addresses))
+        return ranked if top is None else ranked[:top]
     counts: Counter = Counter()
     previous = None
     for event in trace:
@@ -45,7 +78,7 @@ def stride_histogram(trace: Trace, top: int | None = None) -> list[tuple[int, in
     return [(stride, count) for stride, count in ranked]
 
 
-def dominant_stride(trace: Trace) -> tuple[int, float]:
+def dominant_stride(trace: Union[Trace, ColumnarTrace]) -> tuple[int, float]:
     """The most frequent stride and its share of all transitions.
 
     Returns ``(0, 0.0)`` for traces with fewer than two events.
@@ -58,7 +91,7 @@ def dominant_stride(trace: Trace) -> tuple[int, float]:
     return stride, count / total
 
 
-def address_entropy(trace: Trace, block_size: int = 32) -> float:
+def address_entropy(trace: Union[Trace, ColumnarTrace], block_size: int = 32) -> float:
     """Shannon entropy (bits) of the block-access distribution.
 
     0 bits = one block absorbs everything; ``log2(n)`` bits = accesses
@@ -67,6 +100,22 @@ def address_entropy(trace: Trace, block_size: int = 32) -> float:
     """
     if block_size <= 0:
         raise ValueError(f"block_size must be positive, got {block_size}")
+    if use_columnar(trace):
+        columnar = _columnar_view(trace)
+        if not len(columnar):
+            return 0.0
+        blocks = columnar.block_ids(block_size)
+        _unique, first_index, block_counts = np.unique(
+            blocks, return_index=True, return_counts=True
+        )
+        total = len(blocks)
+        entropy = 0.0
+        # Accumulate in the scalar reference's first-encounter order so the
+        # float sum is bit-identical; only the counting is vectorized.
+        for position in np.argsort(first_index, kind="stable").tolist():
+            probability = int(block_counts[position]) / total
+            entropy -= probability * math.log2(probability)
+        return entropy
     counts: Counter = Counter(event.block(block_size) for event in trace)
     total = sum(counts.values())
     if total == 0:
@@ -79,7 +128,7 @@ def address_entropy(trace: Trace, block_size: int = 32) -> float:
 
 
 def region_transition_matrix(
-    trace: Trace, region_size: int = 4096
+    trace: Union[Trace, ColumnarTrace], region_size: int = 4096
 ) -> dict[tuple[int, int], int]:
     """Markov transition counts between address regions.
 
@@ -88,7 +137,24 @@ def region_transition_matrix(
     """
     if region_size <= 0:
         raise ValueError(f"region_size must be positive, got {region_size}")
-    matrix: dict[tuple[int, int], int] = {}
+    if use_columnar(trace):
+        columnar = _columnar_view(trace)
+        if len(columnar) < 2:
+            return {}
+        regions = columnar.addresses // region_size
+        compact, dense = np.unique(regions, return_inverse=True)
+        span = len(compact)
+        keys = dense[:-1] * span + dense[1:]
+        unique_keys, first_index, counts = np.unique(
+            keys, return_index=True, return_counts=True
+        )
+        matrix: dict[tuple[int, int], int] = {}
+        for position in np.argsort(first_index, kind="stable").tolist():
+            key = int(unique_keys[position])
+            pair = (int(compact[key // span]), int(compact[key % span]))
+            matrix[pair] = int(counts[position])
+        return matrix
+    matrix = {}
     previous = None
     for event in trace:
         region = event.address // region_size
@@ -99,7 +165,7 @@ def region_transition_matrix(
     return matrix
 
 
-def region_stickiness(trace: Trace, region_size: int = 4096) -> float:
+def region_stickiness(trace: Union[Trace, ColumnarTrace], region_size: int = 4096) -> float:
     """Fraction of consecutive accesses that stay in the same region.
 
     High stickiness (→1.0) means long region sojourns — the structure that

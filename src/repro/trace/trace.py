@@ -35,6 +35,7 @@ class Trace:
     def __init__(self, events: Iterable[MemoryAccess] = (), name: str = "trace") -> None:
         self._events: list[MemoryAccess] = list(events)
         self.name = name
+        self._columnar = None
 
     # -- basic container protocol -------------------------------------------------
 
@@ -55,10 +56,24 @@ class Trace:
     def append(self, event: MemoryAccess) -> None:
         """Append one event to the trace."""
         self._events.append(event)
+        self._columnar = None
 
     def extend(self, events: Iterable[MemoryAccess]) -> None:
         """Append many events to the trace."""
         self._events.extend(events)
+        self._columnar = None
+
+    def columnar(self):
+        """Columnar (structure-of-arrays) view of this trace, cached.
+
+        The first call pays one O(n) conversion; the view is invalidated by
+        :meth:`append`/:meth:`extend`.  See :mod:`repro.trace.columnar`.
+        """
+        if self._columnar is None:
+            from .columnar import ColumnarTrace
+
+            self._columnar = ColumnarTrace.from_trace(self)
+        return self._columnar
 
     @property
     def events(self) -> Sequence[MemoryAccess]:

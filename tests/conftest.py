@@ -6,17 +6,10 @@ test that needs a kernel trace can share one run.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import pytest
 
-try:
-    import repro  # noqa: F401  (pip-installed or PYTHONPATH already set)
-except ModuleNotFoundError:
-    # Running from a bare checkout: make src/ importable without PYTHONPATH.
-    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
+# The bare-checkout import fallback lives in the repository-root conftest.py,
+# which pytest loads before this file.
 from repro.isa import CPU, load_kernel
 
 

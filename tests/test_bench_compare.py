@@ -1,0 +1,109 @@
+"""Unit tests for the benchmark-regression gate (``benchmarks/compare.py``).
+
+The gate is a standalone script (CI invokes it with ``python``), so it is
+loaded here via ``importlib`` rather than imported as a package module.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_COMPARE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE_PATH)
+compare_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_module)
+
+
+def write_run(path: Path, medians: dict[str, float]) -> Path:
+    """Write a minimal pytest-benchmark JSON export."""
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "name": name, "stats": {"median": median}}
+                    for name, median in medians.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def baseline_file(tmp_path):
+    run = write_run(tmp_path / "run.json", {"suite::a": 1.0, "suite::b": 2.0, "suite::c": 4.0})
+    baseline = tmp_path / "baseline.json"
+    compare_module.update_baseline(run, baseline)
+    return baseline
+
+
+def test_update_baseline_stores_sorted_medians(baseline_file):
+    data = json.loads(baseline_file.read_text())
+    assert list(data["medians"]) == ["suite::a", "suite::b", "suite::c"]
+    assert data["medians"]["suite::c"] == 4.0
+
+
+def test_identical_run_passes(tmp_path, baseline_file):
+    run = write_run(tmp_path / "cand.json", {"suite::a": 1.0, "suite::b": 2.0, "suite::c": 4.0})
+    assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 0
+
+
+def test_uniformly_slower_machine_passes_normalized(tmp_path, baseline_file):
+    # 3x slower across the board: raw medians regress, normalized shape doesn't.
+    run = write_run(tmp_path / "cand.json", {"suite::a": 3.0, "suite::b": 6.0, "suite::c": 12.0})
+    assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 0
+    # The same run fails an absolute comparison.
+    assert (
+        compare_module.main(
+            [str(run), "--baseline", str(baseline_file), "--absolute"]
+        )
+        == 1
+    )
+
+
+def test_synthetic_regression_fails_the_gate(tmp_path, baseline_file, capsys):
+    # suite::a slows 3x while the rest of the suite is unchanged: its
+    # suite-normalized share doubles, well past the 25% threshold.
+    run = write_run(tmp_path / "cand.json", {"suite::a": 3.0, "suite::b": 2.0, "suite::c": 4.0})
+    assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 1
+    out = capsys.readouterr().out
+    assert "suite::a" in out
+    assert "regression" in out
+
+
+def test_threshold_is_respected(tmp_path, baseline_file):
+    run = write_run(tmp_path / "cand.json", {"suite::a": 3.0, "suite::b": 2.0, "suite::c": 4.0})
+    assert (
+        compare_module.main(
+            [str(run), "--baseline", str(baseline_file), "--threshold", "2.0"]
+        )
+        == 0
+    )
+
+
+def test_new_and_missing_benchmarks_are_notes_not_failures(
+    tmp_path, baseline_file, capsys
+):
+    run = write_run(tmp_path / "cand.json", {"suite::a": 1.0, "suite::b": 2.0, "suite::d": 9.0})
+    assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 0
+    out = capsys.readouterr().out
+    assert "missing from candidate run: suite::c" in out
+    assert "new benchmark (no baseline yet): suite::d" in out
+
+
+def test_missing_baseline_is_a_hard_error(tmp_path):
+    run = write_run(tmp_path / "cand.json", {"suite::a": 1.0})
+    assert (
+        compare_module.main([str(run), "--baseline", str(tmp_path / "nope.json")]) == 2
+    )
+
+
+def test_committed_baseline_matches_the_benchmark_suite():
+    """The repo's committed baseline must parse and cover the engine benchmark."""
+    baseline = compare_module.load_baseline(compare_module.DEFAULT_BASELINE)
+    assert any("test_columnar_play_1m" in name for name in baseline)
+    assert all(median > 0 for median in baseline.values())
