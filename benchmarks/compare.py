@@ -11,22 +11,34 @@ hardware generations as long as the suite composition is.  Pass
 ``--absolute`` to compare raw medians instead (only meaningful when baseline
 and candidate ran on the same machine).
 
+Runs may carry a provenance *manifest* (the ``repro.obs`` run manifest:
+package version, Python, OS, engine thresholds).  When both sides have one,
+environment keys that differ are printed as warning notes — drift explains a
+slowdown but never fails the gate on its own.  ``--update-baseline`` embeds
+the current environment's manifest when the ``repro`` package is importable.
+
 Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/compare.py bench.json                  # gate
     python benchmarks/compare.py bench.json --update-baseline  # refresh
+    python benchmarks/compare.py bench.json --select '*play_1m*' --threshold 0.03
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
 
 DEFAULT_THRESHOLD = 0.25
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+#: Manifest keys that legitimately differ between two comparable runs
+#: (mirrors repro.obs.manifest._RUN_SPECIFIC_KEYS, plus the schema marker).
+_RUN_SPECIFIC_KEYS = frozenset({"seed", "config_hash", "extra", "schema"})
 
 
 def load_medians(path: Path) -> dict[str, float]:
@@ -89,8 +101,71 @@ def compare(
     return regressions, notes
 
 
+def select_medians(medians: dict[str, float], pattern: str | None) -> dict[str, float]:
+    """Restrict to benchmarks whose name matches the shell-style ``pattern``."""
+    if pattern is None:
+        return medians
+    return {
+        name: value
+        for name, value in medians.items()
+        if fnmatch.fnmatch(name, pattern)
+    }
+
+
+def load_manifest(path: Path) -> dict | None:
+    """Optional ``manifest`` payload embedded in a run or baseline file."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    manifest = data.get("manifest")
+    return manifest if isinstance(manifest, dict) else None
+
+
+def current_manifest() -> dict | None:
+    """Manifest of the running environment, when ``repro`` is importable."""
+    try:
+        from repro.obs.manifest import collect_manifest
+        from repro.trace.columnar import COLUMNAR_THRESHOLD
+    except ImportError:
+        return None
+    return collect_manifest(
+        engine={"columnar_threshold": COLUMNAR_THRESHOLD}
+    ).to_dict()
+
+
+def manifest_drift(baseline: dict | None, candidate: dict | None) -> list[str]:
+    """Warning notes for environment keys differing baseline vs candidate.
+
+    Missing manifests produce a single explanatory note; run-specific keys
+    (seed, config hash, free-form extras) never count as drift.  Notes only —
+    an environment change explains a regression, it does not excuse one.
+    """
+    if baseline is None:
+        return [
+            "baseline carries no manifest; refresh with --update-baseline "
+            "to record the environment"
+        ]
+    if candidate is None:
+        return ["candidate run carries no manifest; environment drift not checked"]
+    notes: list[str] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        if key in _RUN_SPECIFIC_KEYS:
+            continue
+        if baseline.get(key) != candidate.get(key):
+            notes.append(
+                f"manifest drift on {key!r}: baseline {baseline.get(key)!r} "
+                f"!= candidate {candidate.get(key)!r}"
+            )
+    return notes
+
+
 def update_baseline(candidate_path: Path, baseline_path: Path) -> None:
-    """Write the candidate run's medians as the new committed baseline."""
+    """Write the candidate run's medians as the new committed baseline.
+
+    The current environment's manifest is embedded when available, so later
+    runs can flag environment drift against this baseline.
+    """
     medians = load_medians(candidate_path)
     payload = {
         "note": (
@@ -99,6 +174,9 @@ def update_baseline(candidate_path: Path, baseline_path: Path) -> None:
         ),
         "medians": {name: medians[name] for name in sorted(medians)},
     }
+    manifest = load_manifest(candidate_path) or current_manifest()
+    if manifest is not None:
+        payload["manifest"] = manifest
     baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -125,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline", action="store_true",
         help="overwrite the baseline with the candidate run and exit",
     )
+    parser.add_argument(
+        "--select", metavar="GLOB", default=None,
+        help="gate only benchmarks whose name matches this shell pattern",
+    )
     args = parser.parse_args(argv)
 
     if args.update_baseline:
@@ -135,13 +217,22 @@ def main(argv: list[str] | None = None) -> int:
     if not args.baseline.exists():
         print(f"error: baseline {args.baseline} not found", file=sys.stderr)
         return 2
+    baseline_medians = select_medians(load_baseline(args.baseline), args.select)
+    candidate_medians = select_medians(load_medians(args.candidate), args.select)
+    if args.select and not baseline_medians and not candidate_medians:
+        print(f"error: --select {args.select!r} matches no benchmarks", file=sys.stderr)
+        return 2
     regressions, notes = compare(
-        load_baseline(args.baseline),
-        load_medians(args.candidate),
+        baseline_medians,
+        candidate_medians,
         args.threshold,
         absolute=args.absolute,
     )
-    for note in notes:
+    drift = manifest_drift(
+        load_manifest(args.baseline),
+        load_manifest(args.candidate) or current_manifest(),
+    )
+    for note in notes + drift:
         print(f"note: {note}")
     if regressions:
         print(f"{len(regressions)} benchmark regression(s) > {args.threshold:.0%}:")

@@ -1,0 +1,83 @@
+"""NullRecorder overhead gate: instrumentation must be free when off.
+
+The observability contract (ARCHITECTURE.md "Observability") is that the
+default no-recorder path costs one flag check per playback call.  This
+benchmark pins it: a 1M-event vectorized play with ``recorder=None`` and
+with an explicit :class:`~repro.obs.NullRecorder` must both stay within 3%
+of each other, measured as interleaved best-of-N pairs on the same trace in
+the same process — machine-independent, unlike raw wall-clock gates.
+
+An absolute floor (0.5 ms) keeps the ratio stable against timer noise when
+the play itself is fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.memory import PartitionedMemory
+from repro.obs import JsonlRecorder, NullRecorder
+
+from test_columnar_engine import BANK_SIZES, million_event_trace
+
+OVERHEAD_BOUND_RATIO = 0.03
+NOISE_FLOOR_SECONDS = 5e-4
+ROUNDS = 5
+
+
+def timed_play_pair() -> dict:
+    """Best-of-N interleaved timings: bare play vs NullRecorder play."""
+    columnar = million_event_trace()
+    memory = PartitionedMemory(BANK_SIZES)
+    null_recorder = NullRecorder()
+
+    bare_seconds = []
+    null_seconds = []
+    totals = set()
+    for _ in range(ROUNDS):
+        start_s = time.perf_counter()
+        totals.add(memory.play_vectorized(columnar).total)
+        bare_seconds.append(time.perf_counter() - start_s)
+
+        start_s = time.perf_counter()
+        totals.add(memory.play_vectorized(columnar, recorder=null_recorder).total)
+        null_seconds.append(time.perf_counter() - start_s)
+
+    return {
+        "bare_s": min(bare_seconds),
+        "null_s": min(null_seconds),
+        "distinct_totals": len(totals),
+    }
+
+
+def test_null_recorder_overhead(benchmark):
+    result = benchmark.pedantic(timed_play_pair, rounds=1, iterations=1)
+    # Recording (or not) never changes the energy result.
+    assert result["distinct_totals"] == 1
+    # The <3% acceptance gate, with an absolute floor against timer noise.
+    assert result["null_s"] <= result["bare_s"] * (1 + OVERHEAD_BOUND_RATIO) + (
+        NOISE_FLOOR_SECONDS
+    ), (
+        f"NullRecorder play took {result['null_s'] * 1e3:.2f} ms vs "
+        f"{result['bare_s'] * 1e3:.2f} ms bare — over the "
+        f"{OVERHEAD_BOUND_RATIO:.0%} overhead budget"
+    )
+
+
+def test_jsonl_recorder_counts_events(tmp_path, benchmark):
+    """JsonlRecorder on the same 1M-event play: counters match the report."""
+    from repro.obs import read_log
+
+    columnar = million_event_trace()
+    memory = PartitionedMemory(BANK_SIZES)
+    log_path = tmp_path / "play.jsonl"
+
+    def instrumented_play() -> float:
+        with JsonlRecorder(log_path) as recorder:
+            return memory.play_vectorized(columnar, recorder=recorder).total
+
+    total_pj = benchmark.pedantic(instrumented_play, rounds=1, iterations=1)
+    log = read_log(log_path)
+    counters = log.counters()
+    assert counters.total("play.events") == len(columnar)
+    assert counters.grand_total("play.energy_pj") == total_pj

@@ -28,6 +28,7 @@ Quickstart::
 
 from .core.api import optimize_memory_layout, trace_from_kernel
 from .core.pipeline import FlowConfig, FlowResult, MemoryOptimizationFlow
+from .obs import JsonlRecorder, NullRecorder, Recorder, RunManifest, read_log
 
 __version__ = "1.0.0"
 
@@ -37,5 +38,10 @@ __all__ = [
     "FlowConfig",
     "FlowResult",
     "MemoryOptimizationFlow",
+    "Recorder",
+    "NullRecorder",
+    "JsonlRecorder",
+    "RunManifest",
+    "read_log",
     "__version__",
 ]

@@ -6,8 +6,8 @@ declares the technique-to-technique edges that are allowed to exist.  The
 checks then reduce to set membership:
 
 * a **substrate** package (``trace``, ``memory``, ``bus``, ``cache``, ``isa``,
-  ``compress``, the ``units`` helper module) may import other substrate
-  packages but never a technique or top-layer package (``LAY001``);
+  ``compress``, ``obs``, the ``units`` helper module) may import other
+  substrate packages but never a technique or top-layer package (``LAY001``);
 * a **technique** package may import substrate freely, but another technique
   only along a declared edge of the DAG — anything else is a back-edge
   (``LAY002``);
@@ -80,10 +80,15 @@ class LayerModel:
 
 #: The ARCHITECTURE.md diagram as data.  ``compress`` sits in the substrate:
 #: it is a pure codec library with no repro imports, consumed by both the E2
-#: platforms and the EX7 test-compression flow.
+#: platforms and the EX7 test-compression flow.  ``obs`` sits at the very
+#: bottom of the substrate — it imports nothing from the package (not even
+#: ``trace``), so every layer can record to it without creating cycles;
+#: LAY001 pins it below every technique and LAY004 keeps trace→obs one-way.
 REPRO_LAYER_MODEL = LayerModel(
     root="repro",
-    substrate=frozenset({"trace", "memory", "bus", "cache", "isa", "compress", "units"}),
+    substrate=frozenset(
+        {"trace", "memory", "bus", "cache", "isa", "compress", "units", "obs"}
+    ),
     techniques=frozenset(
         {
             "core",

@@ -11,8 +11,9 @@ the *data* the checker interprets.  It declares
   ``_hz`` *declares* its unit (ARCHITECTURE.md "Units and dimensions"),
 * a **registry** of known function signatures and dataclass fields across
   the energy-bearing packages (``memory``, ``partition``, ``cache``,
-  ``spm``, ``reconfig``, ``platforms``, ``encoding``), so quantities whose
-  names predate the convention still participate in the analysis.
+  ``spm``, ``reconfig``, ``platforms``, ``encoding``) and the
+  observability surface (``obs`` spans, counters, clocks), so quantities
+  whose names predate the convention still participate in the analysis.
 
 Adding a new energy-bearing API therefore means declaring its units here in
 the same commit — the same review trigger the layer model creates for
@@ -253,6 +254,22 @@ _COLUMNAR_FUNCTIONS: dict[str, FunctionUnits] = {
     "address_range": FunctionUnits(None, {}, None),
 }
 
+#: Observability surface (:mod:`repro.obs`).  Keyed by bare trailing name —
+#: relative imports resolve to bare tails in the alias map.  Span/counter
+#: helpers return nothing tracked (counter *values* carry their unit in the
+#: counter name, e.g. ``play.energy_pj``, outside the variable dataflow);
+#: clocks return seconds, declared so arithmetic on readings participates.
+_OBS_FUNCTIONS: dict[str, FunctionUnits] = {
+    "span": FunctionUnits(None, {}, None),
+    "span_start": FunctionUnits(None, {}, None),
+    "span_end": FunctionUnits(None, {}, None),
+    "counter": FunctionUnits(None, {}, None),
+    "record_manifest": FunctionUnits(None, {}, None),
+    "collect_manifest": FunctionUnits(None, {}, None),
+    "config_fingerprint": FunctionUnits(None, {}, None),
+    "now_seconds": FunctionUnits(SECONDS, {}, None),
+}
+
 #: Attribute names with package-wide unambiguous units.  Names that are
 #: energy in one class and something else in another (``total`` is pJ on
 #: EnergyBreakdown but an access *count* on BlockStats) are deliberately
@@ -320,7 +337,12 @@ _ATTRIBUTES: dict[str, Unit] = {
 #: energy-bearing packages.
 REPRO_UNIT_MODEL = UnitModel(
     suffixes=_SUFFIXES,
-    functions={**_CONVERSION_HELPERS, **_ENERGY_FUNCTIONS, **_COLUMNAR_FUNCTIONS},
+    functions={
+        **_CONVERSION_HELPERS,
+        **_ENERGY_FUNCTIONS,
+        **_COLUMNAR_FUNCTIONS,
+        **_OBS_FUNCTIONS,
+    },
     attributes=_ATTRIBUTES,
     literal_allowlist=frozenset(),
     canonical_suffixes={

@@ -17,7 +17,12 @@ Subcommands
     or a saved ``.npz``/``.trc`` trace.
 ``optimize SOURCE``
     Run the clustering + partitioning flow (E1) and print the three-way
-    energy comparison.
+    energy comparison.  ``--obs-out run.jsonl`` records the run (spans,
+    counters, manifest) for later ``repro obs`` inspection.
+``obs LOG``
+    Read a JSONL observability log and print the run manifest, per-stage
+    wall-time and energy breakdown, scalar-vs-vectorized engine routing,
+    and the exact energy reconciliation check.
 ``compress KERNEL``
     Run a kernel on a platform with and without a compression codec (E2).
 ``encode KERNEL``
@@ -156,13 +161,22 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_optimize(args) -> int:
-    trace = _load_trace(args.source)
-    flow = optimize_memory_layout(
-        trace,
-        block_size=args.block_size,
-        max_banks=args.banks,
-        strategy=args.strategy,
-    )
+    from .obs import JsonlRecorder, span
+
+    recorder = JsonlRecorder(args.obs_out) if args.obs_out else None
+    try:
+        with span(recorder, "trace_load", source=args.source):
+            trace = _load_trace(args.source)
+        flow = optimize_memory_layout(
+            trace,
+            recorder=recorder,
+            block_size=args.block_size,
+            max_banks=args.banks,
+            strategy=args.strategy,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     rows = [
         ["monolithic", 1, flow.monolithic.simulated.total, "baseline"],
         [
@@ -180,6 +194,90 @@ def _cmd_optimize(args) -> int:
     ]
     print(render_table(["organization", "banks", "energy (pJ)", "vs monolithic"], rows))
     print(f"\nclustering saves {flow.saving_vs_partitioned:.1%} vs partitioning alone")
+    if args.obs_out:
+        print(f"run log written to {args.obs_out} (inspect with: repro obs {args.obs_out})")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import read_log
+
+    try:
+        log = read_log(args.log)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+
+    if log.manifest is not None:
+        print("run manifest:")
+        for key in ("package_version", "python_version", "platform", "config_hash", "seed"):
+            value = log.manifest.get(key)
+            if value is not None:
+                print(f"  {key + ':':17s}{value}")
+        for key, value in (log.manifest.get("engine") or {}).items():
+            print(f"  {key + ':':17s}{value}")
+        for key, value in (log.manifest.get("extra") or {}).items():
+            print(f"  {key + ':':17s}{value}")
+    else:
+        print("run manifest: (none recorded)")
+
+    spans = log.spans()
+    if spans:
+        print()
+        print(
+            render_table(
+                ["stage", "status", "time (ms)", "attributes"],
+                [
+                    [
+                        "  " * record.depth + record.name,
+                        record.status,
+                        f"{record.elapsed_seconds * 1e3:.3f}",
+                        " ".join(f"{k}={v}" for k, v in sorted(record.attrs.items())),
+                    ]
+                    for record in spans
+                ],
+                title="stages",
+            )
+        )
+
+    energy_rows = log.stage_energy_rows()
+    if energy_rows:
+        print()
+        print(
+            render_table(
+                ["stage", "component", "energy (pJ)"],
+                [[stage, component, f"{value:.3f}"] for stage, component, value in energy_rows],
+                title="per-stage energy",
+            )
+        )
+
+    reconciliation = log.reconcile_energy()
+    if reconciliation:
+        print()
+        print(
+            render_table(
+                ["stage", "component sum (pJ)", "reported (pJ)", "exact"],
+                [
+                    [stage, f"{summed:.6f}", f"{reported:.6f}", "yes" if exact else "NO"]
+                    for stage, summed, reported, exact in reconciliation
+                ],
+                title="energy reconciliation",
+            )
+        )
+
+    engine_rows = log.engine_rows()
+    if engine_rows:
+        print()
+        print(
+            render_table(
+                ["layer", "engine", "calls"],
+                list(engine_rows),
+                title="engine routing (scalar vs vectorized)",
+            )
+        )
+
+    if reconciliation and not all(exact for *_rest, exact in reconciliation):
+        print("\nerror: per-stage energy counters do not reconcile with reported totals")
+        return 1
     return 0
 
 
@@ -442,11 +540,24 @@ def _cmd_bench(args) -> int:
             title="columnar engine: scalar vs vectorized playback",
         )
     )
+    from .obs import collect_manifest
+    from .trace.columnar import COLUMNAR_THRESHOLD
+
+    manifest = collect_manifest(
+        seed=args.seed, engine={"columnar_threshold": COLUMNAR_THRESHOLD}
+    )
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / "BENCH_columnar.json"
     out_path.write_text(
-        json.dumps({"generated_by": "repro bench", "results": results}, indent=2)
+        json.dumps(
+            {
+                "generated_by": "repro bench",
+                "manifest": manifest.to_dict(),
+                "results": results,
+            },
+            indent=2,
+        )
         + "\n"
     )
     print(f"\nmeasurements written to {out_path}")
@@ -509,7 +620,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=["identity", "frequency", "affinity", "random"],
         default="affinity",
     )
+    optimize.add_argument(
+        "--obs-out", metavar="RUN.jsonl", default=None,
+        help="record spans/counters/manifest to a JSONL log (see: repro obs)",
+    )
     optimize.set_defaults(func=_cmd_optimize)
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect a JSONL observability log"
+    )
+    obs.add_argument("log", metavar="RUN.jsonl")
+    obs.set_defaults(func=_cmd_obs)
 
     compress = subparsers.add_parser("compress", help="run the E2 compression comparison")
     compress.add_argument("kernel", choices=kernel_names())

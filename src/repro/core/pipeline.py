@@ -16,15 +16,19 @@ memory synthesized without address clustering* — is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
+from ..obs.counters import FLOW_TOTAL_PJ, STAGE_ENERGY_PJ
+from ..obs.manifest import RunManifest, collect_manifest, config_fingerprint
+from ..obs.recorder import Recorder
+from ..obs.spans import span
 from ..partition.cost import PartitionCostModel
 from ..partition.evaluate import SimulatedPartitionEnergy, simulate_partition
 from ..partition.greedy import EvenPartitioner, GreedyPartitioner
 from ..partition.optimal import OptimalPartitioner, PartitionResult
 from ..partition.spec import PartitionSpec
-from ..trace.columnar import use_columnar
+from ..trace.columnar import COLUMNAR_THRESHOLD, use_columnar
 from ..trace.profile import AccessProfile
 from ..trace.trace import Trace
 from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
@@ -83,6 +87,30 @@ class FlowConfig:
             return EvenPartitioner(num_banks=self.max_banks)
         raise KeyError(f"unknown partitioner {self.partitioner!r}")
 
+    def describe(self) -> dict:
+        """Deterministic, fingerprintable view of this configuration.
+
+        Feeds :func:`repro.obs.manifest.config_fingerprint`: plain values
+        stay as-is, energy models flatten to their dataclass fields, and an
+        instantiated strategy degrades to its class name (its options are
+        not introspectable, so two differently-tuned instances of the same
+        class fingerprint alike — pass strategy *names* for full fidelity).
+        """
+        strategy = self.strategy
+        if isinstance(strategy, ClusteringStrategy):
+            strategy = type(strategy).__name__
+        return {
+            "block_size": self.block_size,
+            "max_banks": self.max_banks,
+            "strategy": strategy,
+            "partitioner": self.partitioner,
+            "round_pow2": self.round_pow2,
+            "include_leakage": self.include_leakage,
+            "sram_model": asdict(self.sram_model),
+            "decoder_model": asdict(self.decoder_model),
+            "strategy_options": dict(self.strategy_options),
+        }
+
 
 @dataclass
 class FlowVariant:
@@ -105,6 +133,7 @@ class FlowResult:
     monolithic: FlowVariant
     partitioned: FlowVariant  # identity layout (partitioning alone)
     clustered: FlowVariant  # clustered layout (the paper's technique)
+    manifest: RunManifest | None = None
 
     @property
     def saving_vs_partitioned(self) -> float:
@@ -133,21 +162,55 @@ class FlowResult:
 
 
 class MemoryOptimizationFlow:
-    """Runs the clustering + partitioning flow on a data trace."""
+    """Runs the clustering + partitioning flow on a data trace.
 
-    def __init__(self, config: FlowConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Flow configuration (defaults apply when omitted).
+    recorder:
+        Optional observability recorder.  When enabled it receives a span
+        per stage (``profile``, ``cluster``, then ``partition_search`` and
+        ``playback`` per variant), per-variant energy counters whose
+        components sum *exactly* to the reported totals, and the run
+        manifest.  Recording never changes results: the default
+        :class:`~repro.obs.recorder.NullRecorder` path is a single flag
+        check, and counters are flushed from totals the flow computes
+        anyway.
+    """
+
+    def __init__(
+        self, config: FlowConfig | None = None, recorder: Recorder | None = None
+    ) -> None:
         self.config = config if config is not None else FlowConfig()
+        self.recorder = recorder
+
+    def build_manifest(self, trace_name: str) -> RunManifest:
+        """Provenance manifest for a run of this flow on ``trace_name``."""
+        return collect_manifest(
+            config_hash=config_fingerprint(self.config.describe()),
+            engine={"columnar_threshold": COLUMNAR_THRESHOLD},
+            trace=trace_name,
+        )
 
     def run(self, trace: Trace) -> FlowResult:
         """Execute the flow; return the three-way energy comparison."""
         config = self.config
+        recorder = self.recorder
         data_trace = trace.data_accesses()
         if not len(data_trace):
             raise ValueError(f"trace {trace.name!r} contains no data accesses")
-        profile = AccessProfile(data_trace, block_size=config.block_size)
+        manifest = self.build_manifest(trace.name)
+        if recorder is not None and recorder.enabled:
+            recorder.record_manifest(manifest.to_dict())
+        with span(recorder, "profile", events=len(data_trace)):
+            profile = AccessProfile(
+                data_trace, block_size=config.block_size, recorder=recorder
+            )
 
-        identity_layout = IdentityClustering().build_layout(profile)
-        clustered_layout = config.make_strategy().build_layout(profile)
+        with span(recorder, "cluster", strategy=str(config.strategy)):
+            identity_layout = IdentityClustering().build_layout(profile)
+            clustered_layout = config.make_strategy().build_layout(profile)
 
         monolithic = self._evaluate(
             "monolithic", identity_layout, profile, data_trace, num_banks=1
@@ -162,6 +225,7 @@ class MemoryOptimizationFlow:
             monolithic=monolithic,
             partitioned=partitioned,
             clustered=clustered,
+            manifest=manifest,
         )
 
     def _evaluate(
@@ -173,6 +237,7 @@ class MemoryOptimizationFlow:
         num_banks: int | None = None,
     ) -> FlowVariant:
         config = self.config
+        recorder = self.recorder
         reads, writes = layout.counts_in_order(profile)
         cost_model = PartitionCostModel(
             reads=reads,
@@ -182,31 +247,49 @@ class MemoryOptimizationFlow:
             decoder_model=config.decoder_model,
             round_pow2=config.round_pow2,
         )
-        if num_banks == 1:
-            spec = PartitionSpec(
-                block_size=config.block_size,
-                bank_blocks=(layout.num_blocks,),
-                round_pow2=config.round_pow2,
+        with span(recorder, "partition_search", variant=label):
+            if num_banks == 1:
+                spec = PartitionSpec(
+                    block_size=config.block_size,
+                    bank_blocks=(layout.num_blocks,),
+                    round_pow2=config.round_pow2,
+                )
+                result = PartitionResult(
+                    spec=spec,
+                    predicted_energy=cost_model.partition_cost(spec),
+                    num_banks=1,
+                )
+            else:
+                partitioner = config.make_partitioner()
+                result = partitioner.partition(cost_model)
+        with span(recorder, "playback", variant=label, banks=result.num_banks):
+            if use_columnar(data_trace):
+                # Above the columnar threshold the whole playback chain stays
+                # in array form: vectorized remap feeds vectorized simulation.
+                layout_trace = layout.remap_columnar(data_trace.columnar())
+            else:
+                layout_trace = layout.remap_trace(data_trace)
+            simulated = simulate_partition(
+                result.spec,
+                layout_trace,
+                sram_model=config.sram_model,
+                decoder_model=config.decoder_model,
+                include_leakage=config.include_leakage,
+                recorder=recorder,
             )
-            result = PartitionResult(
-                spec=spec, predicted_energy=cost_model.partition_cost(spec), num_banks=1
+        if recorder is not None and recorder.enabled:
+            # Components in the exact order SimulatedPartitionEnergy.total
+            # adds them, so a replayed sum reconciles bit-for-bit.
+            recorder.counter(
+                STAGE_ENERGY_PJ, simulated.bank_energy, stage=label, component="bank"
             )
-        else:
-            partitioner = config.make_partitioner()
-            result = partitioner.partition(cost_model)
-        if use_columnar(data_trace):
-            # Above the columnar threshold the whole playback chain stays
-            # in array form: vectorized remap feeds vectorized simulation.
-            layout_trace = layout.remap_columnar(data_trace.columnar())
-        else:
-            layout_trace = layout.remap_trace(data_trace)
-        simulated = simulate_partition(
-            result.spec,
-            layout_trace,
-            sram_model=config.sram_model,
-            decoder_model=config.decoder_model,
-            include_leakage=config.include_leakage,
-        )
+            recorder.counter(
+                STAGE_ENERGY_PJ, simulated.decoder_energy, stage=label, component="decoder"
+            )
+            recorder.counter(
+                STAGE_ENERGY_PJ, simulated.leakage_energy, stage=label, component="leakage"
+            )
+            recorder.counter(FLOW_TOTAL_PJ, simulated.total, stage=label)
         return FlowVariant(
             label=label,
             layout=layout,

@@ -17,6 +17,15 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from ..obs.counters import (
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    PLAY_BANK_HITS,
+    PLAY_ENERGY_PJ,
+    PLAY_ENGINE,
+    PLAY_EVENTS,
+)
+from ..obs.recorder import Recorder
 from ..trace.columnar import (
     ColumnarTrace,
     assign_banks,
@@ -126,7 +135,10 @@ class PartitionedMemory:
         return bank_pj + decoder_pj
 
     def play(
-        self, trace: Union[Trace, ColumnarTrace], include_leakage: bool = False
+        self,
+        trace: Union[Trace, ColumnarTrace],
+        include_leakage: bool = False,
+        recorder: Recorder | None = None,
     ) -> MemoryEnergyReport:
         """Play a whole trace; return the energy report.
 
@@ -137,14 +149,27 @@ class PartitionedMemory:
         :class:`~repro.trace.columnar.ColumnarTrace`) are routed through
         :meth:`play_vectorized`; smaller scalar traces take
         :meth:`play_scalar`.  Both produce bit-identical reports.
+
+        ``recorder`` receives per-call counters (events played, engine path
+        taken, bank hit distribution, energy components); counters are
+        flushed once per play from totals the report needs anyway, so an
+        enabled recorder never changes the result and a disabled one costs
+        one flag check.
         """
         if use_columnar(trace):
             if isinstance(trace, Trace):
                 trace = trace.columnar()
-            return self.play_vectorized(trace, include_leakage=include_leakage)
-        return self.play_scalar(trace, include_leakage=include_leakage)
+            return self.play_vectorized(
+                trace, include_leakage=include_leakage, recorder=recorder
+            )
+        return self.play_scalar(trace, include_leakage=include_leakage, recorder=recorder)
 
-    def play_scalar(self, trace: Trace, include_leakage: bool = False) -> MemoryEnergyReport:
+    def play_scalar(
+        self,
+        trace: Trace,
+        include_leakage: bool = False,
+        recorder: Recorder | None = None,
+    ) -> MemoryEnergyReport:
         """Reference implementation of :meth:`play`: one event at a time.
 
         Each event is routed to its bank (binary search) and counted; the
@@ -163,10 +188,15 @@ class PartitionedMemory:
         duration_cycles = 0
         if len(trace):
             duration_cycles = trace.events[-1].time - trace.events[0].time + 1
-        return self._report_from_counters(len(trace), duration_cycles, include_leakage)
+        return self._report_from_counters(
+            len(trace), duration_cycles, include_leakage, recorder, ENGINE_SCALAR
+        )
 
     def play_vectorized(
-        self, trace: ColumnarTrace, include_leakage: bool = False
+        self,
+        trace: ColumnarTrace,
+        include_leakage: bool = False,
+        recorder: Recorder | None = None,
     ) -> MemoryEnergyReport:
         """Vectorized :meth:`play`: bank assignment via ``searchsorted``,
         per-bank access counts via ``bincount``.
@@ -193,17 +223,24 @@ class PartitionedMemory:
             bank.reads = int(bank_reads)
             bank.writes = int(bank_writes)
         return self._report_from_counters(
-            len(trace), trace.duration_cycles(), include_leakage
+            len(trace), trace.duration_cycles(), include_leakage, recorder, ENGINE_VECTORIZED
         )
 
     def _report_from_counters(
-        self, accesses: int, duration_cycles: int, include_leakage: bool
+        self,
+        accesses: int,
+        duration_cycles: int,
+        include_leakage: bool,
+        recorder: Recorder | None = None,
+        engine: str = ENGINE_SCALAR,
     ) -> MemoryEnergyReport:
         """Assemble the energy report from the per-bank counters.
 
         This is the single definition of the playback arithmetic: both the
         scalar and the vectorized path land here with identical counters,
-        which is what makes their reports bit-identical.
+        which is what makes their reports bit-identical.  Observability
+        counters are emitted here too — after the arithmetic, from the same
+        totals the report carries, so recording cannot perturb results.
         """
         bank_pj = sum(bank.dynamic_energy for bank in self.banks)
         decoder_pj = accesses * self.decoder_model.access_energy(self.num_banks)
@@ -211,6 +248,14 @@ class PartitionedMemory:
         leakage_pj = 0.0
         if include_leakage and accesses:
             leakage_pj = sum(bank.leakage_energy(duration_cycles) for bank in self.banks)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(PLAY_EVENTS, accesses)
+            recorder.counter(PLAY_ENGINE, 1, path=engine)
+            for index, bank in enumerate(self.banks):
+                recorder.counter(PLAY_BANK_HITS, bank.accesses, bank=index)
+            recorder.counter(PLAY_ENERGY_PJ, bank_pj, component="bank")
+            recorder.counter(PLAY_ENERGY_PJ, decoder_pj, component="decoder")
+            recorder.counter(PLAY_ENERGY_PJ, leakage_pj, component="leakage")
         return MemoryEnergyReport(
             bank_energy=bank_pj,
             decoder_energy=decoder_pj,

@@ -21,6 +21,15 @@ from typing import Union
 
 import numpy as np
 
+from ..obs.counters import (
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    SLEEP_ENERGY_PJ,
+    SLEEP_ENGINE,
+    SLEEP_WAKE_EVENTS,
+)
+from ..obs.recorder import Recorder
+from ..obs.spans import span
 from ..trace.columnar import (
     ColumnarTrace,
     assign_banks,
@@ -98,6 +107,7 @@ def simulate_bank_sleep(
     policy: SleepPolicy,
     sram_model: SRAMEnergyModel | None = None,
     cycle_time_ns: float = 10.0,
+    recorder: Recorder | None = None,
 ) -> BankSleepReport:
     """Replay a layout-space trace and account drowsy-mode leakage.
 
@@ -108,16 +118,37 @@ def simulate_bank_sleep(
     :class:`~repro.trace.columnar.ColumnarTrace`) are routed through
     :func:`simulate_bank_sleep_columnar`; smaller scalar traces take
     :func:`simulate_bank_sleep_scalar`.  Both produce bit-identical reports.
+
+    ``recorder`` brackets the simulation in a ``sleep`` span and receives
+    the engine path, wake-event count, and leakage energy components.
     """
-    if use_columnar(layout_trace):
-        if isinstance(layout_trace, Trace):
-            layout_trace = layout_trace.columnar()
-        return simulate_bank_sleep_columnar(
-            bank_sizes, bank_bases, layout_trace, policy, sram_model, cycle_time_ns
+    with span(recorder, "sleep", banks=len(bank_sizes)):
+        if use_columnar(layout_trace):
+            if isinstance(layout_trace, Trace):
+                layout_trace = layout_trace.columnar()
+            return simulate_bank_sleep_columnar(
+                bank_sizes, bank_bases, layout_trace, policy, sram_model,
+                cycle_time_ns, recorder,
+            )
+        return simulate_bank_sleep_scalar(
+            bank_sizes, bank_bases, layout_trace, policy, sram_model,
+            cycle_time_ns, recorder,
         )
-    return simulate_bank_sleep_scalar(
-        bank_sizes, bank_bases, layout_trace, policy, sram_model, cycle_time_ns
-    )
+
+
+def _record_sleep(
+    recorder: Recorder | None, engine: str, report: BankSleepReport
+) -> BankSleepReport:
+    """Flush one sleep simulation's counters; returns ``report`` unchanged."""
+    if recorder is not None and recorder.enabled:
+        recorder.counter(SLEEP_ENGINE, 1, path=engine)
+        recorder.counter(SLEEP_WAKE_EVENTS, report.wake_events)
+        recorder.counter(SLEEP_ENERGY_PJ, report.managed_leakage, component="managed")
+        recorder.counter(SLEEP_ENERGY_PJ, report.wake_energy, component="wake")
+        recorder.counter(
+            SLEEP_ENERGY_PJ, report.always_on_leakage, component="always_on"
+        )
+    return report
 
 
 def _check_bank_geometry(bank_sizes: list[int], bank_bases: list[int]) -> None:
@@ -136,6 +167,7 @@ def simulate_bank_sleep_scalar(
     policy: SleepPolicy,
     sram_model: SRAMEnergyModel | None = None,
     cycle_time_ns: float = 10.0,
+    recorder: Recorder | None = None,
 ) -> BankSleepReport:
     """Reference implementation of :func:`simulate_bank_sleep`.
 
@@ -146,7 +178,9 @@ def simulate_bank_sleep_scalar(
     if sram_model is None:
         sram_model = SRAMEnergyModel()
     if not len(layout_trace):
-        return BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+        return _record_sleep(
+            recorder, ENGINE_SCALAR, BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+        )
 
     start_cycles = layout_trace.events[0].time
     end_cycles = layout_trace.events[-1].time
@@ -182,7 +216,7 @@ def simulate_bank_sleep_scalar(
 
     first_times = [times[0] if times else None for times in access_times]
     last_times = [times[-1] if times else None for times in access_times]
-    return _accumulate_sleep_report(
+    report = _accumulate_sleep_report(
         bank_sizes,
         per_bank,
         first_times,
@@ -193,6 +227,7 @@ def simulate_bank_sleep_scalar(
         sram_model,
         cycle_time_ns,
     )
+    return _record_sleep(recorder, ENGINE_SCALAR, report)
 
 
 def simulate_bank_sleep_columnar(
@@ -202,6 +237,7 @@ def simulate_bank_sleep_columnar(
     policy: SleepPolicy,
     sram_model: SRAMEnergyModel | None = None,
     cycle_time_ns: float = 10.0,
+    recorder: Recorder | None = None,
 ) -> BankSleepReport:
     """Batched :func:`simulate_bank_sleep`: idle-interval detection with
     :func:`numpy.diff` over per-bank timestamp groups.
@@ -215,7 +251,9 @@ def simulate_bank_sleep_columnar(
     if sram_model is None:
         sram_model = SRAMEnergyModel()
     if not len(layout_trace):
-        return BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+        return _record_sleep(
+            recorder, ENGINE_VECTORIZED, BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+        )
 
     start_cycles = int(layout_trace.timestamps[0])
     end_cycles = int(layout_trace.timestamps[-1])
@@ -248,7 +286,7 @@ def simulate_bank_sleep_columnar(
         first_times.append(int(times[0]))
         last_times.append(int(times[-1]))
 
-    return _accumulate_sleep_report(
+    report = _accumulate_sleep_report(
         bank_sizes,
         per_bank,
         first_times,
@@ -259,6 +297,7 @@ def simulate_bank_sleep_columnar(
         sram_model,
         cycle_time_ns,
     )
+    return _record_sleep(recorder, ENGINE_VECTORIZED, report)
 
 
 def _accumulate_sleep_report(

@@ -1,0 +1,53 @@
+"""Injected clocks for span timing.
+
+The package's determinism policy ("no module reads wall-clock time") is
+machine-enforced by the ``DET001`` lint rule, and observability must not
+erode it: span durations are *measurements about* a run, never inputs to
+it.  All wall-clock access is therefore concentrated in this one module —
+:class:`WallClock` is the single sanctioned reader, each call marked with
+a lint pragma — and every other obs component takes a :class:`Clock` by
+injection, so tests and reproducible logs use :class:`TickClock` instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "TickClock"]
+
+
+class Clock:
+    """Protocol for a monotonically non-decreasing time source (seconds)."""
+
+    def now_seconds(self) -> float:
+        """Return the current reading in seconds."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall clock — the only wall-clock reader in the package."""
+
+    def now_seconds(self) -> float:
+        """Return the monotonic performance counter in seconds."""
+        return time.perf_counter()  # repro: lint-ignore[DET001]
+
+
+class TickClock(Clock):
+    """Deterministic clock advancing a fixed step per reading.
+
+    Every ``now_seconds`` call returns ``step_seconds`` more than the
+    previous one, starting at ``step_seconds``.  Recorded logs become exact
+    functions of the instrumented code path — what the schema round-trip
+    and nesting tests pin down.
+    """
+
+    def __init__(self, step_seconds: float = 1.0) -> None:
+        if step_seconds <= 0:
+            raise ValueError(f"step_seconds must be positive, got {step_seconds}")
+        self.step_seconds = step_seconds
+        self._reading_seconds = 0.0
+
+    def now_seconds(self) -> float:
+        """Advance by one step and return the new reading."""
+        self._reading_seconds += self.step_seconds
+        return self._reading_seconds

@@ -1,0 +1,38 @@
+"""Hierarchical spans: the ``with span(recorder, name)`` helper.
+
+A span brackets one pipeline stage.  Nesting is implicit — the recorder
+tracks the innermost open span, so a playback layer's span opened inside a
+flow stage's span becomes its child without any plumbing.  The helper is
+exception-safe by construction: a raising body closes the span with
+``status="error"`` and the exception type, then re-raises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .recorder import Recorder
+
+__all__ = ["span"]
+
+
+@contextmanager
+def span(recorder: Recorder | None, name: str, **attrs) -> Iterator[None]:
+    """Bracket a block as a named span on ``recorder``.
+
+    ``recorder`` may be ``None`` or disabled, in which case the block runs
+    unbracketed with no per-entry cost beyond one attribute check — the
+    contract that keeps default (uninstrumented) runs unmeasurably close
+    to uninstrumented code.
+    """
+    if recorder is None or not recorder.enabled:
+        yield
+        return
+    span_id = recorder.span_start(name, **attrs)
+    try:
+        yield
+    except BaseException as error:
+        recorder.span_end(span_id, status="error", error=type(error).__name__)
+        raise
+    recorder.span_end(span_id, status="ok")

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
 from ..memory.partitioned import PartitionedMemory
+from ..obs.recorder import Recorder
 from ..trace.columnar import ColumnarTrace
 from ..trace.trace import Trace
 from .spec import PartitionSpec
@@ -59,12 +60,14 @@ def simulate_partition(
     sram_model: SRAMEnergyModel | None = None,
     decoder_model: DecoderEnergyModel | None = None,
     include_leakage: bool = False,
+    recorder: Recorder | None = None,
 ) -> SimulatedPartitionEnergy:
     """Play a layout-space trace through the memory described by ``spec``.
 
     ``layout_trace`` addresses must already be remapped into the contiguous
     layout space ``[0, spec.total_bytes)`` — see
-    :class:`repro.core.layout.BlockLayout`.
+    :class:`repro.core.layout.BlockLayout`.  ``recorder`` is forwarded to
+    :meth:`~repro.memory.partitioned.PartitionedMemory.play`.
 
     Note: when ``spec.round_pow2`` is set the physical banks are larger than
     the block extents, so accesses are routed by *physical* capacity.  To keep
@@ -78,9 +81,11 @@ def simulate_partition(
         # Simulate with exact extents for routing but rounded capacities for
         # energy: construct banks of rounded size, then translate addresses
         # from exact-extent space to the physical layout.
-        return _simulate_rounded(spec, layout_trace, sram_model, decoder_model, include_leakage)
+        return _simulate_rounded(
+            spec, layout_trace, sram_model, decoder_model, include_leakage, recorder
+        )
     memory = build_memory(spec, sram_model, decoder_model)
-    report = memory.play(layout_trace, include_leakage=include_leakage)
+    report = memory.play(layout_trace, include_leakage=include_leakage, recorder=recorder)
     return SimulatedPartitionEnergy(
         bank_energy=report.bank_energy,
         decoder_energy=report.decoder_energy,
@@ -96,6 +101,7 @@ def _simulate_rounded(
     sram_model: SRAMEnergyModel | None,
     decoder_model: DecoderEnergyModel | None,
     include_leakage: bool,
+    recorder: Recorder | None = None,
 ) -> SimulatedPartitionEnergy:
     memory = build_memory(spec, sram_model, decoder_model)
     exact_edges = [0]
@@ -118,7 +124,7 @@ def _simulate_rounded(
         translated = _translate_columnar(layout_trace, exact_edges, physical_bases)
     else:
         translated = layout_trace.remap(translate)
-    report = memory.play(translated, include_leakage=include_leakage)
+    report = memory.play(translated, include_leakage=include_leakage, recorder=recorder)
     return SimulatedPartitionEnergy(
         bank_energy=report.bank_energy,
         decoder_energy=report.decoder_energy,

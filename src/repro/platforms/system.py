@@ -37,6 +37,9 @@ from ..isa.assembler import Program
 from ..isa.cpu import CPU
 from ..memory.energy import BusEnergyModel, DRAMEnergyModel, SRAMEnergyModel
 from ..memory.mainmem import MainMemory
+from ..obs.counters import COMPRESS_OFFCHIP_BYTES, PLATFORM_ENERGY_PJ
+from ..obs.recorder import Recorder
+from ..obs.spans import span
 from ..trace.trace import Trace
 from .breakdown import EnergyBreakdown
 
@@ -131,7 +134,12 @@ class Platform:
     def __init__(self, config: PlatformConfig) -> None:
         self.config = config
 
-    def run_program(self, program: Program, memory_size: int = 1 << 20) -> PlatformReport:
+    def run_program(
+        self,
+        program: Program,
+        memory_size: int = 1 << 20,
+        recorder: Recorder | None = None,
+    ) -> PlatformReport:
         """Execute ``program`` and account the memory-subsystem energy."""
         result = CPU(memory_size=memory_size).run(program)
         instruction_image = MemoryImage()
@@ -141,6 +149,7 @@ class Platform:
             result.data_trace,
             result.instruction_trace,
             instruction_image=instruction_image,
+            recorder=recorder,
         )
 
     def run_traces(
@@ -148,8 +157,40 @@ class Platform:
         data_trace: Trace,
         instruction_trace: Trace | None = None,
         instruction_image: MemoryImage | None = None,
+        recorder: Recorder | None = None,
     ) -> PlatformReport:
-        """Replay traces through the hierarchy; return the energy report."""
+        """Replay traces through the hierarchy; return the energy report.
+
+        ``recorder`` brackets the replay in a ``compression`` span (the E2
+        stage this platform substrate exists for) and receives the energy
+        breakdown per component plus the off-chip byte counts — flushed once
+        from the finished report, so recording never perturbs it.
+        """
+        with span(
+            recorder,
+            "compression",
+            platform=self.config.name,
+            codec=type(self.config.codec).__name__ if self.config.codec else None,
+        ):
+            report = self._run_traces(data_trace, instruction_trace, instruction_image)
+        if recorder is not None and recorder.enabled:
+            for component, value_pj in report.breakdown.as_dict().items():
+                recorder.counter(PLATFORM_ENERGY_PJ, value_pj, component=component)
+            recorder.counter(
+                COMPRESS_OFFCHIP_BYTES, report.bytes_to_memory, direction="to_memory"
+            )
+            recorder.counter(
+                COMPRESS_OFFCHIP_BYTES, report.bytes_from_memory, direction="from_memory"
+            )
+        return report
+
+    def _run_traces(
+        self,
+        data_trace: Trace,
+        instruction_trace: Trace | None = None,
+        instruction_image: MemoryImage | None = None,
+    ) -> PlatformReport:
+        """Replay body (uninstrumented); see :meth:`run_traces`."""
         config = self.config
         icache = Cache(config.icache, energy_model=config.sram, name="icache")
         dcache = Cache(config.dcache, energy_model=config.sram, name="dcache")

@@ -27,6 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.counters import (
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    RECONFIG_ENGINE,
+    RECONFIG_KERNELS,
+)
+from ..obs.recorder import Recorder
+from ..obs.spans import span
 from ..trace.columnar import COLUMNAR_THRESHOLD
 from .model import Application, DataSet, Kernel, ReconfigArchitecture, ScheduleEnergy
 
@@ -130,9 +138,16 @@ class NaiveScheduler:
 
     name = "naive"
 
-    def schedule(self, application: Application, architecture: ReconfigArchitecture) -> Schedule:
+    def schedule(
+        self,
+        application: Application,
+        architecture: ReconfigArchitecture,
+        recorder: Recorder | None = None,
+    ) -> Schedule:
         """Produce the baseline schedule."""
         n = len(application.kernels)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(RECONFIG_KERNELS, n)
         return Schedule(order=tuple(range(n)), l0_placements=tuple(frozenset() for _ in range(n)))
 
 
@@ -194,6 +209,7 @@ class EnergyAwareScheduler:
         application: Application,
         architecture: ReconfigArchitecture,
         order: list[int],
+        recorder: Recorder | None = None,
     ) -> list[frozenset]:
         placements: list[frozenset] = []
         previous_placement: frozenset = frozenset()
@@ -219,12 +235,16 @@ class EnergyAwareScheduler:
                 value_pj = saved_pj - stage_pj - writeback_pj
                 if value_pj > 0:
                     items.append((ds.name, ds.size, value_pj))
-            placements.append(self._knapsack(items, architecture.l0_size))
+            placements.append(self._knapsack(items, architecture.l0_size, recorder))
             previous_placement = placements[-1]
         return placements
 
     @staticmethod
-    def _knapsack(items: list[tuple[str, int, float]], capacity: int) -> frozenset:
+    def _knapsack(
+        items: list[tuple[str, int, float]],
+        capacity: int,
+        recorder: Recorder | None = None,
+    ) -> frozenset:
         """Exact 0/1 knapsack via DP on (coarse-grained) size.
 
         Large DP tables take the vectorized row-update path; both paths do
@@ -237,7 +257,11 @@ class EnergyAwareScheduler:
         grain = 16
         slots = capacity // grain
         if (slots + 1) * len(items) >= COLUMNAR_THRESHOLD:
+            if recorder is not None and recorder.enabled:
+                recorder.counter(RECONFIG_ENGINE, 1, path=ENGINE_VECTORIZED)
             return EnergyAwareScheduler._knapsack_vectorized(items, slots, grain)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(RECONFIG_ENGINE, 1, path=ENGINE_SCALAR)
         return EnergyAwareScheduler._knapsack_scalar(items, slots, grain)
 
     @staticmethod
@@ -287,8 +311,21 @@ class EnergyAwareScheduler:
                 room -= weight
         return frozenset(chosen)
 
-    def schedule(self, application: Application, architecture: ReconfigArchitecture) -> Schedule:
-        """Produce the energy-aware schedule."""
-        order = self._order(application)
-        placements = self._placements(application, architecture, order)
-        return Schedule(order=tuple(order), l0_placements=tuple(placements))
+    def schedule(
+        self,
+        application: Application,
+        architecture: ReconfigArchitecture,
+        recorder: Recorder | None = None,
+    ) -> Schedule:
+        """Produce the energy-aware schedule.
+
+        ``recorder`` brackets the run in a ``reconfig_schedule`` span and
+        receives the kernel count plus one engine-path counter per knapsack
+        the placement stage solves.
+        """
+        with span(recorder, "reconfig_schedule", kernels=len(application.kernels)):
+            if recorder is not None and recorder.enabled:
+                recorder.counter(RECONFIG_KERNELS, len(application.kernels))
+            order = self._order(application)
+            placements = self._placements(application, architecture, order, recorder)
+            return Schedule(order=tuple(order), l0_placements=tuple(placements))

@@ -19,6 +19,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..memory.energy import SRAMEnergyModel
+from ..obs.counters import (
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    SPM_BENEFIT_PJ,
+    SPM_BLOCKS,
+    SPM_ENGINE,
+)
+from ..obs.recorder import Recorder
+from ..obs.spans import span
 from ..trace.columnar import use_columnar
 from ..trace.profile import AccessProfile
 
@@ -89,17 +98,34 @@ class SPMAllocator:
         self.config = config
         self.cache_path_energy = cache_path_energy
 
-    def allocate(self, profile: AccessProfile) -> SPMAllocation:
-        """Pick the block set maximizing predicted energy benefit."""
+    def allocate(
+        self, profile: AccessProfile, recorder: Recorder | None = None
+    ) -> SPMAllocation:
+        """Pick the block set maximizing predicted energy benefit.
+
+        ``recorder`` brackets the allocation in an ``spm_alloc`` span and
+        receives the engine path, block count, and predicted benefit.
+        """
+        with span(recorder, "spm_alloc", capacity_bytes=self.config.size):
+            allocation, engine = self._allocate(profile)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(SPM_ENGINE, 1, path=engine)
+            recorder.counter(SPM_BLOCKS, len(allocation.blocks))
+            recorder.counter(SPM_BENEFIT_PJ, allocation.predicted_benefit)
+        return allocation
+
+    def _allocate(self, profile: AccessProfile) -> tuple[SPMAllocation, str]:
+        """Allocation body; returns the result and the engine path taken."""
         saving_pj = self.cache_path_energy - self.config.access_energy()
         capacity_blocks = self.config.size // profile.block_size
         if saving_pj <= 0 or capacity_blocks == 0:
-            return SPMAllocation(
+            empty = SPMAllocation(
                 blocks=frozenset(),
                 block_size=profile.block_size,
                 config=self.config,
                 predicted_benefit=0.0,
             )
+            return empty, ENGINE_SCALAR
         counts = profile.access_counts()
         if use_columnar(profile.trace):
             # Vectorized exact top-k: lexsort on (-count, block) reproduces
@@ -109,13 +135,16 @@ class SPMAllocator:
             picked = np.lexsort((blocks, -totals))[:capacity_blocks]
             chosen = blocks[picked].tolist()
             benefit_pj = saving_pj * int(totals[picked].sum())
+            engine = ENGINE_VECTORIZED
         else:
             ranked = sorted(counts, key=lambda block: (-counts[block], block))
             chosen = ranked[:capacity_blocks]
             benefit_pj = saving_pj * sum(counts[block] for block in chosen)
-        return SPMAllocation(
+            engine = ENGINE_SCALAR
+        allocation = SPMAllocation(
             blocks=frozenset(chosen),
             block_size=profile.block_size,
             config=self.config,
             predicted_benefit=benefit_pj,
         )
+        return allocation, engine

@@ -25,6 +25,15 @@ from typing import Union
 
 import numpy as np
 
+from ..obs.counters import (
+    AFFINITY_ENGINE,
+    ENGINE_SCALAR,
+    ENGINE_VECTORIZED,
+    PROFILE_BLOCKS,
+    PROFILE_ENGINE,
+    PROFILE_EVENTS,
+)
+from ..obs.recorder import Recorder
 from .columnar import KIND_WRITE, ColumnarTrace, use_columnar
 from .trace import Trace
 
@@ -90,20 +99,36 @@ class AccessProfile:
     block_size:
         Granularity in bytes at which addresses are aggregated.  This is the
         unit the partitioner and clustering algorithms move around.
+    recorder:
+        Optional observability recorder; receives event/block counts and the
+        engine path taken (counters only — flushed once, after the build, so
+        recording cannot perturb the profile).
     """
 
-    def __init__(self, trace: Union[Trace, ColumnarTrace], block_size: int = 32) -> None:
+    def __init__(
+        self,
+        trace: Union[Trace, ColumnarTrace],
+        block_size: int = 32,
+        recorder: Recorder | None = None,
+    ) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
         self.block_size = block_size
         self.trace = trace
+        self._recorder = recorder
         self._stats: dict[int, BlockStats] = {}
         self._sequence: list[int] = []
         if use_columnar(trace):
             columnar = trace if isinstance(trace, ColumnarTrace) else trace.columnar()
             self._build_columnar(columnar)
+            engine = ENGINE_VECTORIZED
         else:
             self._build()
+            engine = ENGINE_SCALAR
+        if recorder is not None and recorder.enabled:
+            recorder.counter(PROFILE_ENGINE, 1, path=engine)
+            recorder.counter(PROFILE_EVENTS, self.total_accesses)
+            recorder.counter(PROFILE_BLOCKS, self.num_blocks)
 
     def _build(self) -> None:
         """Reference profile construction: one event at a time."""
@@ -240,8 +265,13 @@ class AccessProfile:
         """
         if window <= 1:
             raise ValueError(f"window must be > 1, got {window}")
+        recorder = self._recorder
         if len(self._sequence) >= 2 and use_columnar(self.trace):
+            if recorder is not None and recorder.enabled:
+                recorder.counter(AFFINITY_ENGINE, 1, path=ENGINE_VECTORIZED)
             return self._affinity_matrix_vectorized(window)
+        if recorder is not None and recorder.enabled:
+            recorder.counter(AFFINITY_ENGINE, 1, path=ENGINE_SCALAR)
         affinity: dict[tuple[int, int], int] = {}
         recent: list[int] = []
         for block in self._sequence:

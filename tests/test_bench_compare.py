@@ -18,18 +18,19 @@ compare_module = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compare_module)
 
 
-def write_run(path: Path, medians: dict[str, float]) -> Path:
-    """Write a minimal pytest-benchmark JSON export."""
-    path.write_text(
-        json.dumps(
-            {
-                "benchmarks": [
-                    {"fullname": name, "name": name, "stats": {"median": median}}
-                    for name, median in medians.items()
-                ]
-            }
-        )
-    )
+def write_run(
+    path: Path, medians: dict[str, float], manifest: dict | None = None
+) -> Path:
+    """Write a minimal pytest-benchmark JSON export (optionally with manifest)."""
+    payload: dict = {
+        "benchmarks": [
+            {"fullname": name, "name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+    if manifest is not None:
+        payload["manifest"] = manifest
+    path.write_text(json.dumps(payload))
     return path
 
 
@@ -107,3 +108,110 @@ def test_committed_baseline_matches_the_benchmark_suite():
     baseline = compare_module.load_baseline(compare_module.DEFAULT_BASELINE)
     assert any("test_columnar_play_1m" in name for name in baseline)
     assert all(median > 0 for median in baseline.values())
+
+
+class TestSelect:
+    def test_select_restricts_the_gate(self, tmp_path, baseline_file):
+        # suite::a regresses 5x, but only suite::b is gated.
+        run = write_run(
+            tmp_path / "cand.json", {"suite::a": 5.0, "suite::b": 2.0, "suite::c": 4.0}
+        )
+        args = [str(run), "--baseline", str(baseline_file), "--absolute"]
+        assert compare_module.main(args) == 1
+        assert compare_module.main(args + ["--select", "*::b"]) == 0
+
+    def test_select_matching_nothing_is_a_hard_error(self, tmp_path, baseline_file):
+        run = write_run(tmp_path / "cand.json", {"suite::a": 1.0})
+        assert (
+            compare_module.main(
+                [str(run), "--baseline", str(baseline_file), "--select", "nope*"]
+            )
+            == 2
+        )
+
+    def test_select_medians_filters_by_glob(self):
+        medians = {"suite::play_1m": 1.0, "suite::sleep_1m": 2.0, "other": 3.0}
+        assert compare_module.select_medians(medians, "*play*") == {
+            "suite::play_1m": 1.0
+        }
+        assert compare_module.select_medians(medians, None) == medians
+
+
+def manifest_payload(**overrides) -> dict:
+    payload = {
+        "package_version": "1.0",
+        "python_version": "3.12.0",
+        "platform": "linux",
+        "engine": {"columnar_threshold": 4096},
+        "config_hash": None,
+        "seed": None,
+        "extra": {},
+        "schema": 1,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestManifestDrift:
+    def test_identical_manifests_produce_no_drift(self):
+        assert compare_module.manifest_drift(manifest_payload(), manifest_payload()) == []
+
+    def test_run_specific_keys_never_count_as_drift(self):
+        drift = compare_module.manifest_drift(
+            manifest_payload(seed=1, config_hash="aaaa", extra={"k": "x"}),
+            manifest_payload(seed=2, config_hash="bbbb", extra={"k": "y"}),
+        )
+        assert drift == []
+
+    def test_environment_drift_is_a_note_not_a_failure(self, tmp_path, capsys):
+        baseline_run = write_run(
+            tmp_path / "base_run.json",
+            {"suite::a": 1.0, "suite::b": 2.0},
+            manifest=manifest_payload(python_version="3.9.1"),
+        )
+        baseline = tmp_path / "baseline.json"
+        compare_module.update_baseline(baseline_run, baseline)
+        candidate = write_run(
+            tmp_path / "cand.json",
+            {"suite::a": 1.0, "suite::b": 2.0},
+            manifest=manifest_payload(python_version="3.13.0"),
+        )
+        assert compare_module.main([str(candidate), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest drift on 'python_version'" in out
+        assert "'3.9.1'" in out and "'3.13.0'" in out
+
+    def test_missing_baseline_manifest_yields_one_explanatory_note(self, capsys):
+        notes = compare_module.manifest_drift(None, manifest_payload())
+        assert len(notes) == 1
+        assert "--update-baseline" in notes[0]
+
+    def test_missing_candidate_manifest_yields_one_explanatory_note(self):
+        notes = compare_module.manifest_drift(manifest_payload(), None)
+        assert notes == ["candidate run carries no manifest; environment drift not checked"]
+
+    def test_update_baseline_embeds_the_candidate_manifest(self, tmp_path):
+        run = write_run(
+            tmp_path / "run.json",
+            {"suite::a": 1.0},
+            manifest=manifest_payload(package_version="9.9"),
+        )
+        baseline = tmp_path / "baseline.json"
+        compare_module.update_baseline(run, baseline)
+        stored = json.loads(baseline.read_text())["manifest"]
+        assert stored["package_version"] == "9.9"
+
+    def test_update_baseline_falls_back_to_current_environment(self, tmp_path):
+        # repro is importable in the test environment, so a manifest-less
+        # candidate still gets the live environment's manifest embedded.
+        run = write_run(tmp_path / "run.json", {"suite::a": 1.0})
+        baseline = tmp_path / "baseline.json"
+        compare_module.update_baseline(run, baseline)
+        stored = json.loads(baseline.read_text()).get("manifest")
+        assert stored is not None
+        assert "columnar_threshold" in stored["engine"]
+
+    def test_committed_baseline_carries_a_manifest(self):
+        manifest = compare_module.load_manifest(compare_module.DEFAULT_BASELINE)
+        assert manifest is not None
+        assert manifest["engine"].get("columnar_threshold") == 4096

@@ -1,0 +1,111 @@
+"""Property-based contract: recording never changes a result, bit for bit.
+
+The instrumentation layer's standing promise is that attaching a recorder —
+null or live — to any playback layer leaves every computed number exactly
+as it was: counters are flushed from totals the simulation computes anyway,
+never folded into them.  Hypothesis searches for a trace on which that
+fails, on both the scalar and vectorized engines.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import PartitionedMemory, SleepPolicy, simulate_bank_sleep
+from repro.obs import JsonlRecorder, NullRecorder, read_log
+from repro.obs.clock import TickClock
+from repro.obs.counters import PLAY_ENERGY_PJ, PLAY_EVENTS, SLEEP_ENERGY_PJ
+from repro.trace import AccessKind, MemoryAccess, Trace
+
+BANK_BYTES = 256
+
+# One event: (offset within the memory, is_write, timestamp gap to previous).
+event_strategy = st.tuples(
+    st.integers(min_value=0, max_value=4 * BANK_BYTES - 4),
+    st.booleans(),
+    st.integers(min_value=0, max_value=500),
+)
+
+trace_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4),  # number of banks
+    st.lists(event_strategy, min_size=0, max_size=120),
+)
+
+
+def build_case(case) -> tuple[list[int], Trace]:
+    """Materialize a generated case as (bank_sizes, in-range trace)."""
+    num_banks, raw_events = case
+    total_bytes = num_banks * BANK_BYTES
+    events = []
+    time = 0
+    for offset, is_write, gap in raw_events:
+        time += gap
+        events.append(
+            MemoryAccess(
+                time=time,
+                address=offset % total_bytes,
+                kind=AccessKind.WRITE if is_write else AccessKind.READ,
+            )
+        )
+    return [BANK_BYTES] * num_banks, Trace(events, name="prop")
+
+
+def jsonl_recorder() -> tuple[JsonlRecorder, io.StringIO]:
+    sink = io.StringIO()
+    return JsonlRecorder(sink, clock=TickClock()), sink
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace_strategy)
+def test_recording_never_changes_play_results(case):
+    bank_sizes, trace = build_case(case)
+    bare = PartitionedMemory(bank_sizes).play(trace, include_leakage=True)
+    nulled = PartitionedMemory(bank_sizes).play(
+        trace, include_leakage=True, recorder=NullRecorder()
+    )
+    recorder, sink = jsonl_recorder()
+    memory = PartitionedMemory(bank_sizes)
+    recorded = memory.play(trace, include_leakage=True, recorder=recorder)
+    recorder.close()
+
+    for report in (nulled, recorded):
+        assert report.total == bare.total
+        assert report.bank_energy == bare.bank_energy
+        assert report.decoder_energy == bare.decoder_energy
+        assert report.leakage_energy == bare.leakage_energy
+
+    # And the recorded counters replay to the same bits.
+    counters = read_log(sink.getvalue().splitlines()).counters()
+    assert counters.total(PLAY_EVENTS) == len(trace)
+    assert counters.grand_total(PLAY_ENERGY_PJ) == bare.total
+
+
+@settings(max_examples=100, deadline=None)
+@given(trace_strategy, st.integers(min_value=0, max_value=300))
+def test_recording_never_changes_sleep_results(case, timeout_cycles):
+    bank_sizes, trace = build_case(case)
+    bank_bases = [i * BANK_BYTES for i in range(len(bank_sizes))]
+    policy = SleepPolicy(timeout_cycles=timeout_cycles)
+
+    bare = simulate_bank_sleep(bank_sizes, bank_bases, trace, policy)
+    nulled = simulate_bank_sleep(
+        bank_sizes, bank_bases, trace, policy, recorder=NullRecorder()
+    )
+    recorder, sink = jsonl_recorder()
+    recorded = simulate_bank_sleep(
+        bank_sizes, bank_bases, trace, policy, recorder=recorder
+    )
+    recorder.close()
+
+    assert bare == nulled == recorded
+
+    counters = read_log(sink.getvalue().splitlines()).counters()
+    assert counters.total(SLEEP_ENERGY_PJ, component="managed") == bare.managed_leakage
+    assert counters.total(SLEEP_ENERGY_PJ, component="wake") == bare.wake_energy
+    assert (
+        counters.total(SLEEP_ENERGY_PJ, component="always_on")
+        == bare.always_on_leakage
+    )
