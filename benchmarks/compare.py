@@ -70,21 +70,26 @@ def compare(
     candidate: dict[str, float],
     threshold: float,
     absolute: bool = False,
-) -> tuple[list[str], list[str]]:
-    """Return ``(regressions, notes)`` for a candidate run vs a baseline.
+) -> tuple[list[str], list[str], list[str]]:
+    """Return ``(regressions, warnings, notes)`` for a candidate vs a baseline.
 
     A regression is a benchmark whose (normalized) median exceeds the
-    baseline's by more than ``threshold``.  Benchmarks present on only one
-    side produce notes, not failures, so adding or retiring a benchmark does
-    not require touching the baseline in the same commit.
+    baseline's by more than ``threshold``.  A baseline benchmark absent
+    from the candidate run is a *warning*: the gate did not check it, which
+    must be visible (a silently skipped benchmark reads as a pass).  A
+    candidate benchmark with no baseline yet is an informational note, so
+    adding a benchmark does not require touching the baseline in the same
+    commit.  Neither fails the gate by itself — but a candidate missing
+    *every* baseline benchmark does, in :func:`main`.
     """
     base = dict(baseline) if absolute else normalize(baseline)
     cand = dict(candidate) if absolute else normalize(candidate)
     regressions: list[str] = []
+    warnings: list[str] = []
     notes: list[str] = []
     for name in sorted(base):
         if name not in cand:
-            notes.append(f"missing from candidate run: {name}")
+            warnings.append(f"missing from candidate run (not gated): {name}")
             continue
         reference = base[name]
         measured = cand[name]
@@ -98,7 +103,7 @@ def compare(
             )
     for name in sorted(set(cand) - set(base)):
         notes.append(f"new benchmark (no baseline yet): {name}")
-    return regressions, notes
+    return regressions, warnings, notes
 
 
 def select_medians(medians: dict[str, float], pattern: str | None) -> dict[str, float]:
@@ -222,7 +227,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.select and not baseline_medians and not candidate_medians:
         print(f"error: --select {args.select!r} matches no benchmarks", file=sys.stderr)
         return 2
-    regressions, notes = compare(
+    if baseline_medians and not candidate_medians:
+        # With nothing measured there is nothing to gate: exiting 0 here
+        # would let a broken benchmark job (collection error, empty export)
+        # masquerade as a pass.
+        print(
+            "error: candidate run contains no gated benchmarks "
+            f"({len(baseline_medians)} in baseline); refusing to pass vacuously",
+            file=sys.stderr,
+        )
+        return 2
+    regressions, warnings, notes = compare(
         baseline_medians,
         candidate_medians,
         args.threshold,
@@ -232,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         load_manifest(args.baseline),
         load_manifest(args.candidate) or current_manifest(),
     )
+    for warning in warnings:
+        print(f"warning: {warning}")
     for note in notes + drift:
         print(f"note: {note}")
     if regressions:

@@ -1,0 +1,119 @@
+"""Batch-sweep scaling: process fan-out speedup and warm-cache behaviour.
+
+Runs one 16-task sweep (4 synthetic applications × 4 E1 configurations)
+three ways through ``repro.batch``:
+
+* serially (``jobs=1``, cold) — the reference wall-clock;
+* in parallel (``jobs=4``, cold) — must be ≥2.5× faster than serial when
+  the machine actually has ≥4 cores (the acceptance criterion; on smaller
+  runners the speedup assertion is skipped but bit-identity still holds);
+* against the warm cache — must report 16 hits / 0 misses and return
+  bit-identical merged results without executing a single task.
+
+The parallel/serial wall-clock ratio is also exported as a
+pytest-benchmark metric so ``compare.py`` tracks it over time.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.batch import ResultCache, SweepTask, TraceSpec, run_sweep
+from repro.obs.clock import WallClock
+from repro.report import render_table
+
+JOBS = 4
+MIN_SPEEDUP = 2.5
+
+#: 4 applications x 4 flow configs = 16 tasks, each sized (~25k events) so
+#: one task costs a few hundred milliseconds of real flow work.
+TRACE_SPECS = [
+    TraceSpec.synthetic(
+        "scattered_hot", num_blocks=400, num_hot=40, accesses=25000, seed=seed
+    )
+    for seed in (31, 32, 33, 34)
+]
+CONFIGS = [
+    {"max_banks": 4, "strategy": "affinity"},
+    {"max_banks": 8, "strategy": "affinity"},
+    {"max_banks": 4, "strategy": "frequency"},
+    {"max_banks": 4, "strategy": "affinity", "round_pow2": True},
+]
+TASKS = [
+    SweepTask.make("e1_clustering", spec, config)
+    for spec in TRACE_SPECS
+    for config in CONFIGS
+]
+
+
+def run_scaling(cache_root) -> dict:
+    """The experiment: serial cold, parallel cold, then warm-cache rerun."""
+    clock = WallClock()
+    cache = ResultCache(cache_root)
+
+    start = clock.now_seconds()
+    serial = run_sweep(TASKS, jobs=1, cache=None)
+    serial_seconds = clock.now_seconds() - start
+
+    start = clock.now_seconds()
+    parallel = run_sweep(TASKS, jobs=JOBS, cache=cache)
+    parallel_seconds = clock.now_seconds() - start
+
+    start = clock.now_seconds()
+    warm = run_sweep(TASKS, jobs=JOBS, cache=cache)
+    warm_seconds = clock.now_seconds() - start
+
+    return {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "serial": serial,
+        "parallel": parallel,
+        "warm": warm,
+    }
+
+
+def test_batch_sweep_scaling_and_warm_cache(benchmark, tmp_path):
+    """16-task sweep: parallel speedup, warm-cache hits, bit-identity."""
+    result = benchmark.pedantic(run_scaling, args=(tmp_path / "cache",), rounds=1, iterations=1)
+
+    rows = [
+        ["serial jobs=1 (cold)", f"{result['serial_seconds']:.2f}", "-"],
+        [
+            f"parallel jobs={JOBS} (cold)",
+            f"{result['parallel_seconds']:.2f}",
+            f"{result['speedup']:.2f}x",
+        ],
+        [
+            f"warm cache jobs={JOBS}",
+            f"{result['warm_seconds']:.2f}",
+            f"{result['serial_seconds'] / max(result['warm_seconds'], 1e-9):.0f}x",
+        ],
+    ]
+    print(
+        render_table(
+            ["execution", "wall seconds", "speedup vs serial"],
+            rows,
+            title=f"\nbatch sweep scaling: {len(TASKS)} tasks on "
+            f"{os.cpu_count()} cores",
+        )
+    )
+
+    serial, parallel, warm = result["serial"], result["parallel"], result["warm"]
+
+    # Bit-identical merge across all three execution modes.
+    assert serial.results == parallel.results == warm.results
+
+    # Warm rerun: all hits, no misses, nothing executed.
+    assert warm.hits == len(TASKS)
+    assert warm.misses == 0
+    assert all(outcome.cached for outcome in warm.outcomes)
+    assert result["warm_seconds"] < result["serial_seconds"] / 4
+
+    # The speedup target assumes the cores exist to scale onto.
+    if (os.cpu_count() or 1) >= JOBS:
+        assert result["speedup"] >= MIN_SPEEDUP, (
+            f"jobs={JOBS} sweep only {result['speedup']:.2f}x faster than serial "
+            f"(need >= {MIN_SPEEDUP}x on a {os.cpu_count()}-core machine)"
+        )

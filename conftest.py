@@ -4,12 +4,26 @@ Holds the one copy of the bare-checkout import fallback shared by the
 ``tests/`` and ``benchmarks/`` suites: when the package is not installed
 (no ``pip install -e .``), make ``src/`` importable so both suites run
 straight from a clone without ``PYTHONPATH``.
+
+Also provides the two suite-wide command-line options:
+
+* ``--shard-count N --shard-id K`` — deterministic test sharding for CI:
+  every test *file* hashes to one shard (SHA-256 of its basename mod N),
+  and only shard K's files run.  Hashing whole files rather than single
+  tests keeps per-file fixtures together and makes the split independent
+  of collection order.
+* ``--update-golden`` — regenerate the pinned flow results under
+  ``tests/golden/`` instead of comparing against them (consumed by
+  ``tests/test_golden_flows.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import sys
 from pathlib import Path
+
+import pytest
 
 
 def ensure_repro_importable() -> None:
@@ -21,3 +35,60 @@ def ensure_repro_importable() -> None:
 
 
 ensure_repro_importable()
+
+
+def pytest_addoption(parser):
+    """Register the sharding and golden-update options."""
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--shard-count",
+        type=int,
+        default=1,
+        help="total number of CI shards (1 disables sharding)",
+    )
+    group.addoption(
+        "--shard-id",
+        type=int,
+        default=0,
+        help="which shard to run (0-based, < --shard-count)",
+    )
+    group.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/ pinned flow results instead of comparing",
+    )
+
+
+def shard_for_file(basename: str, shard_count: int) -> int:
+    """Deterministic shard index of one test file (basename hash mod count)."""
+    digest = hashlib.sha256(basename.encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % shard_count
+
+
+def pytest_collection_modifyitems(config, items):
+    """Deselect every test whose file hashes outside the requested shard."""
+    shard_count = config.getoption("--shard-count")
+    shard_id = config.getoption("--shard-id")
+    if shard_count <= 1:
+        return
+    if not 0 <= shard_id < shard_count:
+        raise pytest.UsageError(
+            f"--shard-id {shard_id} out of range for --shard-count {shard_count}"
+        )
+    selected, deselected = [], []
+    for item in items:
+        basename = Path(str(item.fspath)).name
+        if shard_for_file(basename, shard_count) == shard_id:
+            selected.append(item)
+        else:
+            deselected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should rewrite the golden corpus (``--update-golden``)."""
+    return request.config.getoption("--update-golden")

@@ -100,6 +100,7 @@ REPRO_LAYER_MODEL = LayerModel(
             "codecomp",
             "testcomp",
             "circuit",
+            "batch",
         }
     ),
     leaves=frozenset({"report", "analysis"}),
@@ -108,6 +109,9 @@ REPRO_LAYER_MODEL = LayerModel(
         "core": frozenset({"partition"}),
         "spm": frozenset({"platforms"}),
         "circuit": frozenset({"testcomp"}),
+        # batch is the sweep fan-out: it drives whole flows, so it sits
+        # above the flow-bearing techniques it dispatches into.
+        "batch": frozenset({"core", "platforms", "encoding", "reconfig"}),
     },
 )
 

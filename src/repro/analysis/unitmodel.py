@@ -270,6 +270,25 @@ _OBS_FUNCTIONS: dict[str, FunctionUnits] = {
     "now_seconds": FunctionUnits(SECONDS, {}, None),
 }
 
+#: Batch-sweep surface (:mod:`repro.batch`).  Digests, keys, and shard
+#: indices are dimensionless identifiers; ``run_sweep``'s backoff knobs
+#: carry seconds (declared so the exponential-delay arithmetic in the
+#: runner participates in dataflow checking).
+_BATCH_FUNCTIONS: dict[str, FunctionUnits] = {
+    "trace_digest": FunctionUnits(None, {}, None),
+    "cache_key": FunctionUnits(None, {}, None),
+    "shard_of": FunctionUnits(None, {}, None),
+    "assign_shards": FunctionUnits(None, {}, None),
+    "spec_fingerprint": FunctionUnits(None, {}, None),
+    "run_flow": FunctionUnits(None, {}, None),
+    "trace_to_application": FunctionUnits(None, {"region_bytes": BYTES}, None),
+    "run_sweep": FunctionUnits(
+        None,
+        {"backoff_seconds": SECONDS, "max_backoff_seconds": SECONDS},
+        None,
+    ),
+}
+
 #: Attribute names with package-wide unambiguous units.  Names that are
 #: energy in one class and something else in another (``total`` is pJ on
 #: EnergyBreakdown but an access *count* on BlockStats) are deliberately
@@ -342,6 +361,7 @@ REPRO_UNIT_MODEL = UnitModel(
         **_ENERGY_FUNCTIONS,
         **_COLUMNAR_FUNCTIONS,
         **_OBS_FUNCTIONS,
+        **_BATCH_FUNCTIONS,
     },
     attributes=_ATTRIBUTES,
     literal_allowlist=frozenset(),

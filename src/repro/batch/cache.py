@@ -1,0 +1,133 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Each entry is keyed by SHA-256 over three components: the flow name, the
+flow-config fingerprint (:func:`repro.obs.manifest.config_fingerprint` —
+the same fingerprint the run manifest records), and the content digest of
+the input trace (:func:`repro.trace.io.trace_digest`).  The key therefore
+identifies *what would be computed*, not where the trace came from: the
+same events under the same configuration hit the cache no matter how the
+trace was described or named.
+
+Entries are single JSON files under ``root/<key[:2]>/<key>.json`` written
+atomically (tmp file + :func:`os.replace`), so concurrent writers racing
+on one key are harmless — last writer wins with a complete record, and
+both writers were computing the same result anyway.  Records that fail to
+parse or whose embedded key disagrees with their filename are treated as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "cache_key",
+    "CacheEntry",
+    "ResultCache",
+]
+
+#: Schema tag embedded in every record; entries from other schema versions
+#: are misses.
+CACHE_SCHEMA_VERSION = 1
+
+#: Per-process staging-file serial, combined with the pid so concurrent
+#: writers (threads within a process, or separate worker processes) never
+#: share a tmp name.
+_TMP_SERIAL = itertools.count()
+
+
+def cache_key(flow: str, config_hash: str, trace_digest: str) -> str:
+    """Cache key for one (flow, config fingerprint, trace digest) triple."""
+    material = f"repro-batch-v{CACHE_SCHEMA_VERSION}\n{flow}\n{config_hash}\n{trace_digest}\n"
+    return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored sweep result plus the provenance that keyed it."""
+
+    key: str
+    flow: str
+    config_hash: str
+    trace_digest: str
+    result: dict
+
+    def to_record(self) -> dict:
+        """The JSON record written to disk."""
+        return {
+            "v": CACHE_SCHEMA_VERSION,
+            "key": self.key,
+            "flow": self.flow,
+            "config_hash": self.config_hash,
+            "trace_digest": self.trace_digest,
+            "result": self.result,
+        }
+
+
+class ResultCache:
+    """Content-addressed result store rooted at one directory.
+
+    The directory is created lazily on the first store; a cache pointed at
+    a never-written location simply misses everything.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        """Create a cache view over ``root`` (no filesystem access yet)."""
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location for ``key`` (two-level fan-out by prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> CacheEntry | None:
+        """Return the entry stored under ``key``, or ``None`` on any miss.
+
+        Corruption (unparseable JSON, wrong schema version, key mismatch)
+        is deliberately indistinguishable from absence: the caller
+        recomputes and overwrites.
+        """
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("v") != CACHE_SCHEMA_VERSION or record.get("key") != key:
+            return None
+        if not isinstance(record.get("result"), dict):
+            return None
+        return CacheEntry(
+            key=key,
+            flow=record.get("flow", ""),
+            config_hash=record.get("config_hash", ""),
+            trace_digest=record.get("trace_digest", ""),
+            result=record["result"],
+        )
+
+    def store(self, entry: CacheEntry) -> Path:
+        """Atomically persist ``entry``; returns its on-disk path.
+
+        The record is staged in a same-directory tmp file and moved into
+        place with :func:`os.replace`, so readers never observe a partial
+        record and concurrent writers of one key cannot corrupt it.
+        """
+        path = self.path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(entry.to_record(), sort_keys=True, indent=1)
+        tmp = path.with_name(f".{entry.key}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of well-named entry files currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,379 @@
+"""The sweep work queue: fan tasks over processes, cache, retry, merge.
+
+:func:`run_sweep` takes a list of :class:`~repro.batch.spec.SweepTask` and
+produces one :class:`TaskOutcome` per task **in submission order**,
+regardless of worker count, completion timing, or which tasks hit the
+cache.  The invariants, in the order they are enforced:
+
+* **Content-addressed skip** — the parent loads each distinct trace spec
+  once, digests it, and looks the (flow, config fingerprint, trace
+  digest) key up in the :class:`~repro.batch.cache.ResultCache`.  A hit
+  never reaches a worker.
+* **Bit-identical merge** — fresh results are round-tripped through
+  canonical JSON (sorted keys) before merging, so a result is the *same
+  parsed object* whether it was computed serially, computed in a worker,
+  or read back from cache.  ``jobs=1`` vs ``jobs=N`` vs warm-cache rerun
+  therefore merge to ``==``-equal reports, which the batch tests assert.
+* **Retry with capped backoff** — a failed task (an exception in the
+  worker, or a worker death breaking the pool) is retried in waves: each
+  wave rebuilds the pool if it broke, sleeps an exponentially growing,
+  capped delay, and re-submits only the still-failing tasks, up to
+  ``retries`` extra attempts per task.
+* **Deterministic sharding** — each outcome records the task's shard
+  (pure function of the task fingerprint), so a distributed caller can
+  partition the same sweep identically on every host.
+
+Wall-clock readings go through :class:`repro.obs.clock.WallClock` — the
+package's single sanctioned clock reader — and only ever describe the
+run (span durations, elapsed fields), never steer results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..obs.clock import Clock, WallClock
+from ..obs.counters import (
+    BATCH_CACHE_HITS,
+    BATCH_CACHE_MISSES,
+    BATCH_RETRIES,
+    BATCH_TASKS,
+)
+from ..obs.spans import span
+from ..trace.io import trace_digest
+from .cache import CacheEntry, ResultCache, cache_key
+from .flows import run_flow
+from .spec import SweepTask, shard_of
+
+__all__ = [
+    "TaskOutcome",
+    "SweepReport",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The result of one sweep task, with its execution provenance."""
+
+    task: SweepTask
+    result: dict
+    key: str
+    shard: int
+    cached: bool
+    attempts: int
+    elapsed_seconds: float
+
+    def row(self) -> dict:
+        """Flat summary row for the CLI results table."""
+        return {
+            "flow": self.task.flow,
+            "trace": self.task.trace.name,
+            "config_hash": self.task.config_hash,
+            "key": self.key[:12],
+            "shard": self.shard,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Merged sweep outcomes (submission order) plus queue statistics."""
+
+    outcomes: tuple
+    hits: int
+    misses: int
+    retries: int
+    jobs: int
+    elapsed_seconds: float
+
+    @property
+    def results(self) -> list:
+        """The merged results alone, in submission order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def summary(self) -> str:
+        """One-line human summary of the queue statistics."""
+        return (
+            f"{len(self.outcomes)} tasks: {self.hits} cache hits, "
+            f"{self.misses} misses, {self.retries} retries "
+            f"(jobs={self.jobs}, {self.elapsed_seconds:.2f}s)"
+        )
+
+
+def _canonical(result: dict) -> dict:
+    """Round-trip ``result`` through canonical JSON.
+
+    This is the bit-identity normalizer: whatever path produced the dict
+    (inline call, pickled worker return, cache read), the merged object is
+    the parse of its sorted-keys JSON encoding — so equal computations
+    merge to ``==``-equal objects.
+    """
+    return json.loads(json.dumps(result, sort_keys=True))
+
+
+def _execute_task(task: SweepTask) -> str:
+    """Worker entry point: run one task and return its result as canonical JSON.
+
+    Runs in a worker process, so it rebuilds the trace from the task's
+    spec and returns *text* — the parent parses it, which keeps the
+    pickled payload small and the normalization single-sourced.
+    """
+    trace = task.trace.load()
+    result = run_flow(task.flow, trace, task.config_dict, recorder=None)
+    return json.dumps(result, sort_keys=True)
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one not-yet-merged task."""
+
+    index: int
+    task: SweepTask
+    key: str
+    shard: int
+    attempts: int = 0
+    started_seconds: float = 0.0
+    failures: list = field(default_factory=list)
+
+
+def run_sweep(
+    tasks,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    recorder=None,
+    retries: int = 2,
+    backoff_seconds: float = 0.05,
+    max_backoff_seconds: float = 1.0,
+    clock: Clock | None = None,
+) -> SweepReport:
+    """Run every task, via cache / serial inline / process fan-out, and merge.
+
+    Parameters
+    ----------
+    tasks:
+        The sweep, in the order results should be merged.
+    jobs:
+        ``1`` runs tasks inline in this process (no pool, no pickling);
+        ``>1`` fans misses over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache:
+        Optional :class:`~repro.batch.cache.ResultCache`; hits skip
+        execution entirely and fresh results are stored back.
+    recorder:
+        Optional obs recorder: gets a ``sweep`` span, per-task spans, and
+        the ``batch.*`` counters.
+    retries:
+        Extra attempts per failing task before the sweep raises.
+    backoff_seconds / max_backoff_seconds:
+        Delay before retry wave *n* is ``backoff_seconds * 2**(n-1)``,
+        capped at ``max_backoff_seconds``.
+    clock:
+        Time source for elapsed fields (injectable for tests); defaults
+        to the sanctioned :class:`~repro.obs.clock.WallClock`.
+    """
+    tasks = list(tasks)
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    clock = clock or WallClock()
+    sweep_started = clock.now_seconds()
+
+    outcomes: list = [None] * len(tasks)
+    hits = misses = retry_count = 0
+
+    with span(recorder, "sweep", tasks=len(tasks), jobs=jobs):
+        # Resolve every task's cache key up front: load each distinct trace
+        # spec once (memoized), digest it, and satisfy what we can from cache.
+        digests: dict = {}
+        pending: list = []
+        for index, task in enumerate(tasks):
+            if task.trace not in digests:
+                digests[task.trace] = trace_digest(task.trace.load())
+            key = cache_key(task.flow, task.config_hash, digests[task.trace])
+            shard = shard_of(task.spec_fingerprint(), max(jobs, 1))
+            if recorder is not None:
+                recorder.counter(BATCH_TASKS, 1, flow=task.flow)
+            entry = cache.load(key) if cache is not None else None
+            if entry is not None:
+                hits += 1
+                if recorder is not None:
+                    recorder.counter(BATCH_CACHE_HITS, 1, flow=task.flow)
+                outcomes[index] = TaskOutcome(
+                    task=task,
+                    result=_canonical(entry.result),
+                    key=key,
+                    shard=shard,
+                    cached=True,
+                    attempts=0,
+                    elapsed_seconds=0.0,
+                )
+            else:
+                misses += 1
+                if recorder is not None:
+                    recorder.counter(BATCH_CACHE_MISSES, 1, flow=task.flow)
+                pending.append(_Pending(index=index, task=task, key=key, shard=shard))
+
+        def merge(item: _Pending, payload: str) -> None:
+            result = _canonical(json.loads(payload))
+            if cache is not None:
+                cache.store(
+                    CacheEntry(
+                        key=item.key,
+                        flow=item.task.flow,
+                        config_hash=item.task.config_hash,
+                        trace_digest=digests[item.task.trace],
+                        result=result,
+                    )
+                )
+            outcomes[item.index] = TaskOutcome(
+                task=item.task,
+                result=result,
+                key=item.key,
+                shard=item.shard,
+                cached=False,
+                attempts=item.attempts,
+                elapsed_seconds=clock.now_seconds() - item.started_seconds,
+            )
+
+        if jobs == 1:
+            for item in pending:
+                last_error: BaseException | None = None
+                while item.attempts <= retries:
+                    item.attempts += 1
+                    item.started_seconds = clock.now_seconds()
+                    try:
+                        with span(
+                            recorder,
+                            "sweep.task",
+                            label=item.task.label(),
+                            shard=item.shard,
+                            attempt=item.attempts,
+                        ):
+                            merge(item, _execute_task(item.task))
+                        last_error = None
+                        break
+                    except Exception as error:  # noqa: BLE001 - retried below
+                        last_error = error
+                        if item.attempts <= retries:
+                            retry_count += 1
+                            if recorder is not None:
+                                recorder.counter(
+                                    BATCH_RETRIES, 1, flow=item.task.flow
+                                )
+                            _sleep_backoff(
+                                item.attempts, backoff_seconds, max_backoff_seconds
+                            )
+                if last_error is not None:
+                    raise RuntimeError(
+                        f"sweep task {item.task.label()} failed after "
+                        f"{item.attempts} attempts"
+                    ) from last_error
+        elif pending:
+            wave: list = list(pending)
+            wave_number = 0
+            while wave:
+                failed: list = []
+                with ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=_pool_context()
+                ) as pool:
+                    futures = {}
+                    for item in wave:
+                        item.attempts += 1
+                        item.started_seconds = clock.now_seconds()
+                        futures[pool.submit(_execute_task, item.task)] = item
+                    remaining = set(futures)
+                    broken = False
+                    while remaining and not broken:
+                        done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                        done = list(done)
+                        for position, future in enumerate(done):
+                            item = futures[future]
+                            try:
+                                payload = future.result()
+                            except BrokenProcessPool:
+                                # The pool died; every not-yet-merged future
+                                # (the rest of this done batch included) is
+                                # doomed with it.  Collect them all as
+                                # failures and rebuild in the next wave —
+                                # recomputation is deterministic, so retrying
+                                # an already-finished task is merely wasted
+                                # work, never a different answer.
+                                broken = True
+                                failed.append(item)
+                                failed.extend(
+                                    futures[other]
+                                    for other in done[position + 1 :]
+                                )
+                                failed.extend(
+                                    futures[other] for other in remaining
+                                )
+                                remaining = set()
+                                break
+                            except Exception as error:  # noqa: BLE001
+                                item.failures.append(error)
+                                failed.append(item)
+                            else:
+                                with span(
+                                    recorder,
+                                    "sweep.task",
+                                    label=item.task.label(),
+                                    shard=item.shard,
+                                    attempt=item.attempts,
+                                ):
+                                    merge(item, payload)
+                if not failed:
+                    break
+                exhausted = [item for item in failed if item.attempts > retries]
+                if exhausted:
+                    worst = exhausted[0]
+                    cause = worst.failures[-1] if worst.failures else None
+                    raise RuntimeError(
+                        f"sweep task {worst.task.label()} failed after "
+                        f"{worst.attempts} attempts ({len(exhausted)} of "
+                        f"{len(tasks)} tasks exhausted retries)"
+                    ) from cause
+                retry_count += len(failed)
+                if recorder is not None:
+                    for item in failed:
+                        recorder.counter(BATCH_RETRIES, 1, flow=item.task.flow)
+                wave_number += 1
+                _sleep_backoff(wave_number, backoff_seconds, max_backoff_seconds)
+                wave = failed
+
+    return SweepReport(
+        outcomes=tuple(outcomes),
+        hits=hits,
+        misses=misses,
+        retries=retry_count,
+        jobs=jobs,
+        elapsed_seconds=clock.now_seconds() - sweep_started,
+    )
+
+
+def _pool_context():
+    """Multiprocessing context for worker pools: ``fork`` where available.
+
+    Fork keeps worker start-up cheap (no re-import of numpy and the repro
+    package per worker) and is available on every platform CI runs on;
+    elsewhere the platform default is used.  Result content is unaffected
+    either way — workers return canonical JSON text.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def _sleep_backoff(wave: int, base_seconds: float, cap_seconds: float) -> None:
+    """Sleep the capped exponential delay before retry wave ``wave`` (1-based)."""
+    delay = min(base_seconds * (2 ** (wave - 1)), cap_seconds)
+    if delay > 0:
+        time.sleep(delay)

@@ -33,6 +33,12 @@ Subcommands
     BIST coverage + deterministic top-up demo (EX8).
 ``phases SOURCE``
     Detect program phases in a trace.
+``sweep SOURCE [SOURCE...]``
+    Fan one benchmark flow over traces × configurations through the
+    ``repro.batch`` work queue: deterministic sharding, content-addressed
+    result caching (``--cache-dir`` / ``--no-cache``), process fan-out
+    (``--jobs``), retry with capped backoff, and a merged results table
+    (``--format table|json|csv``).
 ``bench``
     Time the scalar vs vectorized (columnar) playback engines on synthetic
     traces of growing size, verify bit-identical energy reports, and write
@@ -584,6 +590,116 @@ def _cmd_phases(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import csv
+    import io
+    import json
+
+    from .batch import ResultCache, SweepTask, TraceSpec, parse_scalar, run_sweep
+    from .obs import JsonlRecorder
+
+    try:
+        specs = [TraceSpec.from_source(source) for source in args.sources]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    configs: list[dict] = []
+    for assignment in args.set or []:
+        config = {}
+        for pair in filter(None, assignment.split(",")):
+            key, sep, raw = pair.partition("=")
+            if not sep:
+                print(
+                    f"error: malformed --set entry {pair!r}; expected key=value",
+                    file=sys.stderr,
+                )
+                return 2
+            config[key.strip()] = parse_scalar(raw.strip())
+        configs.append(config)
+    if not configs:
+        configs = [{}]
+
+    tasks = [
+        SweepTask.make(args.flow, spec, config)
+        for spec in specs
+        for config in configs
+    ]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    recorder = JsonlRecorder(args.obs_out) if args.obs_out else None
+    try:
+        report = run_sweep(
+            tasks,
+            jobs=args.jobs,
+            cache=cache,
+            recorder=recorder,
+            retries=args.retries,
+        )
+    except (RuntimeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        cause = error.__cause__
+        while cause is not None:
+            print(
+                f"  caused by: {type(cause).__name__}: {cause}", file=sys.stderr
+            )
+            cause = cause.__cause__
+        return 1
+    finally:
+        if recorder is not None:
+            recorder.close()
+
+    rows = [outcome.row() for outcome in report.outcomes]
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "flow": args.flow,
+                    "summary": report.summary(),
+                    "hits": report.hits,
+                    "misses": report.misses,
+                    "retries": report.retries,
+                    "tasks": rows,
+                    "results": report.results,
+                },
+                sort_keys=True,
+                indent=1,
+            )
+        )
+    elif args.format == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0]) if rows else [])
+        writer.writeheader()
+        writer.writerows(rows)
+        print(buffer.getvalue(), end="")
+    else:
+        table_rows = [
+            [
+                row["flow"],
+                row["trace"],
+                row["config_hash"][:8],
+                row["shard"],
+                "hit" if row["cached"] else "miss",
+                row["attempts"],
+                f"{row['elapsed_seconds']:.3f}",
+            ]
+            for row in rows
+        ]
+        print(
+            render_table(
+                ["flow", "trace", "config", "shard", "cache", "attempts", "secs"],
+                table_rows,
+                title=f"sweep over {len(specs)} traces x {len(configs)} configs",
+            )
+        )
+    print(report.summary(), file=sys.stderr)
+    if args.obs_out:
+        print(
+            f"run log written to {args.obs_out} (inspect with: repro obs {args.obs_out})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -701,6 +817,42 @@ def build_parser() -> argparse.ArgumentParser:
     phases.add_argument("--clusters", type=int, default=3)
     phases.add_argument("--block-size", type=int, default=32)
     phases.set_defaults(func=_cmd_phases)
+
+    from .batch.flows import FLOW_NAMES
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="fan a flow over traces x configs with caching (repro.batch)",
+    )
+    sweep.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE",
+        help="kernel name, trace file, or synth:GENERATOR[:k=v,...]",
+    )
+    sweep.add_argument("--flow", choices=sorted(FLOW_NAMES), default="e1_clustering")
+    sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="K=V[,K=V...]",
+        help="one flow configuration (repeat for a config grid)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument(
+        "--cache-dir",
+        default=".repro-sweep-cache",
+        help="content-addressed result cache location",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    sweep.add_argument("--retries", type=int, default=2, help="extra attempts per task")
+    sweep.add_argument("--format", choices=["table", "json", "csv"], default="table")
+    sweep.add_argument(
+        "--obs-out", metavar="RUN.jsonl", default=None,
+        help="record spans/counters to a JSONL log (see: repro obs)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -122,6 +122,32 @@ class FlowVariant:
     predicted_energy: float
     simulated: SimulatedPartitionEnergy
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view of this variant (plain builtins only).
+
+        The layout itself is omitted — it is an intermediate artifact whose
+        effect is fully captured by the simulated energies; the partition
+        spec and the per-bank access counts pin the organization.
+        """
+        return {
+            "label": self.label,
+            "num_banks": int(self.spec.num_banks),
+            "bank_blocks": [int(blocks) for blocks in self.spec.bank_blocks],
+            "block_size": int(self.spec.block_size),
+            "round_pow2": bool(self.spec.round_pow2),
+            "predicted_energy": float(self.predicted_energy),
+            "simulated": {
+                "bank_energy": float(self.simulated.bank_energy),
+                "decoder_energy": float(self.simulated.decoder_energy),
+                "leakage_energy": float(self.simulated.leakage_energy),
+                "accesses": int(self.simulated.accesses),
+                "bank_access_counts": [
+                    int(count) for count in self.simulated.bank_access_counts
+                ],
+                "total": float(self.simulated.total),
+            },
+        }
+
 
 @dataclass
 class FlowResult:
@@ -134,6 +160,32 @@ class FlowResult:
     partitioned: FlowVariant  # identity layout (partitioning alone)
     clustered: FlowVariant  # clustered layout (the paper's technique)
     manifest: RunManifest | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the full three-way comparison.
+
+        Plain builtins only, deterministic key order, no environment
+        manifest — this is the golden-corpus / batch-cache payload, so it
+        must hash and compare identically across machines.  The manifest
+        (which carries Python/OS identifiers) stays on the dataclass for
+        callers that want provenance.
+        """
+        return {
+            "trace_name": self.trace_name,
+            "config": self.config.describe(),
+            "profile_summary": {
+                key: float(value) for key, value in self.profile_summary.items()
+            },
+            "variants": {
+                variant.label: variant.to_dict()
+                for variant in (self.monolithic, self.partitioned, self.clustered)
+            },
+            "saving_vs_partitioned": float(self.saving_vs_partitioned),
+            "saving_vs_monolithic": float(self.saving_vs_monolithic),
+            "partitioning_saving_vs_monolithic": float(
+                self.partitioning_saving_vs_monolithic
+            ),
+        }
 
     @property
     def saving_vs_partitioned(self) -> float:

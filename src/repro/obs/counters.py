@@ -39,6 +39,10 @@ __all__ = [
     "FLOW_TOTAL_PJ",
     "PLATFORM_ENERGY_PJ",
     "COMPRESS_OFFCHIP_BYTES",
+    "BATCH_TASKS",
+    "BATCH_CACHE_HITS",
+    "BATCH_CACHE_MISSES",
+    "BATCH_RETRIES",
     "ENGINE_COUNTERS",
     "attrs_key",
     "CounterRegistry",
@@ -79,6 +83,12 @@ STAGE_ENERGY_PJ = "stage.energy_pj"
 FLOW_TOTAL_PJ = "flow.total_pj"
 PLATFORM_ENERGY_PJ = "platform.energy_pj"
 COMPRESS_OFFCHIP_BYTES = "compress.offchip_bytes"
+
+# -- batch sweeps (repro.batch work queue) ------------------------------------------
+BATCH_TASKS = "batch.tasks"
+BATCH_CACHE_HITS = "batch.cache_hits"
+BATCH_CACHE_MISSES = "batch.cache_misses"
+BATCH_RETRIES = "batch.retries"
 
 #: The ``*.engine`` counters — one per playback layer that has a scalar and
 #: a vectorized path.  ``repro obs`` renders these as the routing table.

@@ -2,7 +2,7 @@
 
 from .columnar import COLUMNAR_THRESHOLD, ColumnarTrace, use_columnar
 from .events import AccessKind, AddressSpace, MemoryAccess
-from .io import load_npz, load_text, save_npz, save_text
+from .io import load_npz, load_text, save_npz, save_text, trace_digest
 from .phases import Phase, PhaseDetector, PhaseSegmentation
 from .profile import AccessProfile, BlockStats, reuse_distances
 from .sampling import IntervalSampler, SystematicSampler, count_error, scale_counts
@@ -56,4 +56,5 @@ __all__ = [
     "load_text",
     "save_npz",
     "load_npz",
+    "trace_digest",
 ]

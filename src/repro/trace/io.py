@@ -1,4 +1,4 @@
-"""Trace file input/output.
+"""Trace file input/output and content digesting.
 
 Two formats are supported:
 
@@ -8,10 +8,16 @@ Two formats are supported:
 * a compact NumPy ``.npz`` format for large traces.
 
 Both round-trip losslessly through :class:`~repro.trace.trace.Trace`.
+
+:func:`trace_digest` hashes a trace's *content* (every field of every
+event, in order) into a stable hex string — the trace half of the
+``repro.batch`` cache key, pairing with the flow-config fingerprint from
+:func:`repro.obs.manifest.config_fingerprint`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
 import numpy as np
@@ -19,7 +25,19 @@ import numpy as np
 from .events import AccessKind, AddressSpace, MemoryAccess
 from .trace import Trace
 
-__all__ = ["save_text", "load_text", "save_npz", "load_npz"]
+__all__ = [
+    "save_text",
+    "load_text",
+    "save_npz",
+    "load_npz",
+    "trace_digest",
+    "TRACE_DIGEST_VERSION",
+]
+
+#: Version tag mixed into every trace digest; bump when the hashed event
+#: encoding changes so stale batch-cache entries can never be mistaken for
+#: fresh ones.
+TRACE_DIGEST_VERSION = 1
 
 _NO_VALUE = -1  # sentinel for "event carries no payload" in the npz format
 
@@ -97,6 +115,26 @@ def save_npz(trace: Trace, path: str | Path) -> None:
         values=values,
         name=np.array(trace.name),
     )
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of ``trace``: SHA-256 hex over the canonical event stream.
+
+    Every event contributes all of its fields (time, kind, space, address,
+    size, payload) in trace order; the trace *name* is deliberately excluded
+    so two identical event streams digest alike regardless of labelling —
+    the content-addressing property the batch result cache relies on.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"repro-trace-digest-v{TRACE_DIGEST_VERSION}\n".encode("ascii"))
+    for event in trace:
+        hasher.update(
+            (
+                f"{event.time} {event.kind.value} {event.space.value} "
+                f"{event.address:#x} {event.size} {event.value}\n"
+            ).encode("ascii")
+        )
+    return hasher.hexdigest()
 
 
 def load_npz(path: str | Path) -> Trace:

@@ -1,0 +1,171 @@
+"""Unit tests for the content-addressed result cache (``repro.batch.cache``).
+
+The cache's contract is deliberately forgiving on the read side (any
+corruption is a miss, never an error) and strict on the write side
+(atomic replace, complete records only) — both directions are pinned
+here.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.cache import CACHE_SCHEMA_VERSION, CacheEntry, ResultCache, cache_key
+
+
+def make_entry(result=None, flow="e1_clustering"):
+    """A well-formed entry with a real key for its provenance triple."""
+    payload = result if result is not None else {"answer": 42}
+    key = cache_key(flow, "cfg" * 5 + "0", "trace" * 12 + "beef")
+    return CacheEntry(
+        key=key,
+        flow=flow,
+        config_hash="cfg" * 5 + "0",
+        trace_digest="trace" * 12 + "beef",
+        result=payload,
+    )
+
+
+class TestCacheKey:
+    def test_key_depends_on_every_component(self):
+        base = cache_key("e1", "aaaa", "bbbb")
+        assert cache_key("e2", "aaaa", "bbbb") != base
+        assert cache_key("e1", "aaab", "bbbb") != base
+        assert cache_key("e1", "aaaa", "bbbc") != base
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key("e1", "aaaa", "bbbb")
+        assert len(key) == 64
+        int(key, 16)
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.load("ab" * 32) is None
+        assert len(cache) == 0
+
+    def test_store_load_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry({"nested": {"pi": 3.5, "ok": True}})
+        path = cache.store(entry)
+        assert path.is_file()
+        loaded = cache.load(entry.key)
+        assert loaded == entry
+        assert len(cache) == 1
+
+    def test_store_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        cache.store(entry)
+        cache.store(entry)
+        assert len(cache) == 1
+        assert cache.load(entry.key) == entry
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_entry())
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_corrupt_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        path = cache.store(entry)
+        path.write_text("{ not json")
+        assert cache.load(entry.key) is None
+
+    def test_non_dict_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        path = cache.store(entry)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.load(entry.key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        record = entry.to_record()
+        other_key = "00" * 32
+        cache.path_for(other_key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other_key).write_text(json.dumps(record))
+        assert cache.load(other_key) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        record = entry.to_record()
+        record["v"] = CACHE_SCHEMA_VERSION + 1
+        path = cache.store(entry)
+        path.write_text(json.dumps(record))
+        assert cache.load(entry.key) is None
+
+    def test_missing_result_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        record = entry.to_record()
+        del record["result"]
+        path = cache.store(entry)
+        path.write_text(json.dumps(record))
+        assert cache.load(entry.key) is None
+
+    def test_overwrite_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = make_entry({"generation": 1})
+        second = CacheEntry(
+            key=first.key,
+            flow=first.flow,
+            config_hash=first.config_hash,
+            trace_digest=first.trace_digest,
+            result={"generation": 2},
+        )
+        cache.store(first)
+        cache.store(second)
+        loaded = cache.load(first.key)
+        assert loaded is not None
+        assert loaded.result == {"generation": 2}
+
+    def test_fanout_directories_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = make_entry()
+        path = cache.store(entry)
+        assert path.parent.name == entry.key[:2]
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_a_complete_record(self, tmp_path):
+        # Simulate the cross-process race: many writers storing under the
+        # same key via threads (store() is pure filesystem code, so threads
+        # exercise exactly the same tmp-file + os.replace path processes do).
+        import threading
+
+        cache = ResultCache(tmp_path)
+        base = make_entry()
+        errors = []
+
+        def write(generation):
+            try:
+                cache.store(
+                    CacheEntry(
+                        key=base.key,
+                        flow=base.flow,
+                        config_hash=base.config_hash,
+                        trace_digest=base.trace_digest,
+                        result={"generation": generation},
+                    )
+                )
+            except Exception as error:  # pragma: no cover - fails the assert below
+                errors.append(error)
+
+        threads = [threading.Thread(target=write, args=(n,)) for n in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        loaded = cache.load(base.key)
+        assert loaded is not None
+        assert loaded.result["generation"] in range(16)
+        assert len(cache) == 1

@@ -86,14 +86,40 @@ def test_threshold_is_respected(tmp_path, baseline_file):
     )
 
 
-def test_new_and_missing_benchmarks_are_notes_not_failures(
+def test_new_and_missing_benchmarks_do_not_fail_the_gate(
     tmp_path, baseline_file, capsys
 ):
     run = write_run(tmp_path / "cand.json", {"suite::a": 1.0, "suite::b": 2.0, "suite::d": 9.0})
     assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 0
     out = capsys.readouterr().out
-    assert "missing from candidate run: suite::c" in out
-    assert "new benchmark (no baseline yet): suite::d" in out
+    assert "warning: missing from candidate run (not gated): suite::c" in out
+    assert "note: new benchmark (no baseline yet): suite::d" in out
+
+
+def test_missing_baseline_benchmark_is_a_warning_not_a_note():
+    # Regression test: a baseline entry absent from the candidate run used
+    # to surface as an easily-overlooked informational note; it must be
+    # reported on the warning channel so a partially-run suite is visible.
+    regressions, warnings, notes = compare_module.compare(
+        {"suite::a": 1.0, "suite::b": 2.0, "suite::c": 4.0},
+        {"suite::a": 1.0, "suite::b": 2.0},
+        threshold=0.25,
+        absolute=True,
+    )
+    assert regressions == []
+    assert warnings == ["missing from candidate run (not gated): suite::c"]
+    assert notes == []
+
+
+def test_empty_candidate_run_is_a_hard_error(tmp_path, baseline_file, capsys):
+    # Regression test for the silent-pass hole: a candidate export with no
+    # benchmarks at all (broken job, empty JSON) used to exit 0 with only
+    # per-name notes.  The gate must refuse to pass vacuously.
+    run = write_run(tmp_path / "cand.json", {})
+    assert compare_module.main([str(run), "--baseline", str(baseline_file)]) == 2
+    err = capsys.readouterr().err
+    assert "no gated benchmarks" in err
+    assert "refusing to pass vacuously" in err
 
 
 def test_missing_baseline_is_a_hard_error(tmp_path):

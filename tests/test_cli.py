@@ -141,3 +141,117 @@ class TestLintCommand:
         target.write_text("")
         with pytest.raises(SystemExit, match="BOGUS"):
             main(["lint", str(target), "--select", "BOGUS"])
+
+
+class TestSweep:
+    """The ``repro sweep`` batch front-end."""
+
+    SOURCE = "synth:strided_sweep:sweeps=2,seed=3"
+
+    def sweep(self, tmp_path, *extra):
+        return main(
+            [
+                "sweep",
+                self.SOURCE,
+                "--flow",
+                "e1_clustering",
+                "--set",
+                "max_banks=2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                *extra,
+            ]
+        )
+
+    def test_sweep_table_output(self, tmp_path, capsys):
+        assert self.sweep(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "miss" in captured.out
+        assert "1 tasks: 0 cache hits, 1 misses" in captured.err
+
+    def test_sweep_warm_cache_reports_hits(self, tmp_path, capsys):
+        assert self.sweep(tmp_path) == 0
+        capsys.readouterr()
+        assert self.sweep(tmp_path) == 0
+        captured = capsys.readouterr()
+        assert "hit" in captured.out
+        assert "1 cache hits, 0 misses" in captured.err
+
+    def test_sweep_json_output_carries_results(self, tmp_path, capsys):
+        import json
+
+        assert self.sweep(tmp_path, "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["misses"] == 1
+        assert len(payload["results"]) == 1
+        assert "variants" in payload["results"][0]
+
+    def test_sweep_csv_output_has_header_and_rows(self, tmp_path, capsys):
+        assert self.sweep(tmp_path, "--format", "csv") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("flow,trace,config_hash")
+        assert len(lines) == 2
+
+    def test_sweep_no_cache_never_hits(self, tmp_path, capsys):
+        assert self.sweep(tmp_path, "--no-cache") == 0
+        capsys.readouterr()
+        assert self.sweep(tmp_path, "--no-cache") == 0
+        assert "0 cache hits" in capsys.readouterr().err
+        assert not (tmp_path / "cache").exists()
+
+    def test_sweep_config_grid_multiplies_tasks(self, tmp_path, capsys):
+        assert self.sweep(tmp_path, "--set", "max_banks=4") == 0
+        assert "2 tasks" in capsys.readouterr().err
+
+    def test_sweep_obs_log_written(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        assert self.sweep(tmp_path, "--obs-out", str(log)) == 0
+        capsys.readouterr()
+        assert log.exists()
+        assert main(["obs", str(log)]) == 0
+
+    def test_sweep_failed_task_reports_cause_chain(self, tmp_path, capsys):
+        # A task that fails (here: a config key FlowConfig rejects) must
+        # surface the underlying exception, not just "failed after N attempts".
+        assert (
+            main(
+                [
+                    "sweep",
+                    self.SOURCE,
+                    "--flow",
+                    "e1_clustering",
+                    "--set",
+                    "bogus_knob=1",
+                    "--retries",
+                    "0",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "failed after 1 attempts" in err
+        assert "caused by: TypeError" in err
+        assert "bogus_knob" in err
+
+    def test_sweep_bad_source_exits_2(self, tmp_path, capsys):
+        assert main(["sweep", "no_such_kernel", "--cache-dir", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_malformed_set_exits_2(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    self.SOURCE,
+                    "--set",
+                    "max_banks",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "expected key=value" in capsys.readouterr().err

@@ -1,0 +1,169 @@
+"""Differential golden-corpus tests for the E1–E4 flows.
+
+Each case pins the full JSON result of one flow on a small synthetic
+trace under ``tests/golden/``.  A behaviour change anywhere in a flow's
+stack shows up here as a readable field-level diff (dotted path, expected
+vs actual) rather than a bare ``assert result == blob``.
+
+Floats are compared with a tight relative tolerance (1e-9) instead of
+exact text equality, so the corpus survives harmless cross-version
+float-formatting differences while still catching real numeric drift.
+
+To regenerate after an intentional change::
+
+    pytest tests/test_golden_flows.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.batch import SweepTask, TraceSpec, run_sweep
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Relative tolerance for float leaves; ints and strings compare exactly.
+FLOAT_RTOL = 1e-9
+
+#: The pinned corpus: (case name, flow, trace spec, flow config).  Traces
+#: are synthetic and small so the whole corpus replays in a few seconds.
+GOLDEN_CASES = [
+    (
+        "e1_scattered_affinity",
+        "e1_clustering",
+        TraceSpec.synthetic("scattered_hot", accesses=2000, num_blocks=64, seed=21),
+        {"max_banks": 4},
+    ),
+    (
+        "e1_hotcold_pow2",
+        "e1_clustering",
+        TraceSpec.synthetic("hot_cold", accesses=2000, seed=22),
+        {"max_banks": 4, "round_pow2": True, "include_leakage": True},
+    ),
+    (
+        "e2_value_bdi",
+        "e2_compression",
+        TraceSpec.synthetic("value", lines=128, seed=23),
+        {"codec": "bdi"},
+    ),
+    (
+        "e2_value_vliw_zero_run",
+        "e2_compression",
+        TraceSpec.synthetic("value", lines=128, seed=23),
+        {"platform": "vliw", "codec": "zero_run"},
+    ),
+    (
+        "e3_value_default",
+        "e3_encoding",
+        TraceSpec.synthetic("value", lines=128, seed=24),
+        {"width": 32},
+    ),
+    (
+        "e4_markov_energy",
+        "e4_reconfig",
+        TraceSpec.synthetic("markov_region", accesses=2000, seed=25),
+        {"scheduler": "energy", "window_events": 512},
+    ),
+    (
+        "e4_markov_naive",
+        "e4_reconfig",
+        TraceSpec.synthetic("markov_region", accesses=2000, seed=25),
+        {"scheduler": "naive", "window_events": 512},
+    ),
+]
+
+
+def field_diffs(expected, actual, path="$"):
+    """Recursively diff two JSON values into readable ``path: want vs got`` lines.
+
+    Floats compare with :data:`FLOAT_RTOL` relative tolerance; containers
+    report missing/extra keys and length mismatches by dotted path.
+    """
+    diffs: list[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(expected.keys() - actual.keys()):
+            diffs.append(f"{path}.{key}: missing from actual result")
+        for key in sorted(actual.keys() - expected.keys()):
+            diffs.append(f"{path}.{key}: unexpected new field")
+        for key in sorted(expected.keys() & actual.keys()):
+            diffs.extend(field_diffs(expected[key], actual[key], f"{path}.{key}"))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            diffs.append(
+                f"{path}: length {len(expected)} expected, got {len(actual)}"
+            )
+        for index, (want, got) in enumerate(zip(expected, actual)):
+            diffs.extend(field_diffs(want, got, f"{path}[{index}]"))
+    elif isinstance(expected, float) or isinstance(actual, float):
+        want, got = float(expected), float(actual)
+        scale = max(abs(want), abs(got), 1e-300)
+        if abs(want - got) > FLOAT_RTOL * scale:
+            diffs.append(f"{path}: expected {want!r}, got {got!r}")
+    elif expected != actual:
+        diffs.append(f"{path}: expected {expected!r}, got {actual!r}")
+    return diffs
+
+
+def compute_result(flow, spec, config):
+    """Run one corpus case through the batch queue (serial, uncached)."""
+    report = run_sweep([SweepTask.make(flow, spec, config)], jobs=1)
+    return report.results[0]
+
+
+@pytest.mark.parametrize(
+    ("name", "flow", "spec", "config"),
+    GOLDEN_CASES,
+    ids=[case[0] for case in GOLDEN_CASES],
+)
+def test_flow_matches_golden(name, flow, spec, config, update_golden):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    actual = compute_result(flow, spec, config)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(actual, sort_keys=True, indent=1) + "\n")
+        return
+    if not golden_path.is_file():
+        pytest.fail(
+            f"golden file {golden_path} is missing; regenerate the corpus with "
+            f"pytest tests/test_golden_flows.py --update-golden"
+        )
+    expected = json.loads(golden_path.read_text())
+    diffs = field_diffs(expected, actual)
+    if diffs:
+        listing = "\n  ".join(diffs[:40])
+        more = f"\n  ... and {len(diffs) - 40} more" if len(diffs) > 40 else ""
+        pytest.fail(
+            f"{flow} diverged from golden corpus {golden_path.name} "
+            f"({len(diffs)} field(s)):\n  {listing}{more}\n"
+            f"If the change is intentional, refresh with --update-golden."
+        )
+
+
+class TestFieldDiffs:
+    """The differ itself is load-bearing test infrastructure — pin it."""
+
+    def test_equal_values_produce_no_diffs(self):
+        value = {"a": [1, 2.0, {"b": "x"}]}
+        assert field_diffs(value, json.loads(json.dumps(value))) == []
+
+    def test_float_within_tolerance_passes(self):
+        assert field_diffs({"x": 1.0}, {"x": 1.0 + 1e-12}) == []
+
+    def test_float_outside_tolerance_reports_path(self):
+        diffs = field_diffs({"x": {"y": 1.0}}, {"x": {"y": 1.1}})
+        assert diffs == ["$.x.y: expected 1.0, got 1.1"]
+
+    def test_missing_and_extra_keys_reported(self):
+        diffs = field_diffs({"gone": 1}, {"new": 2})
+        assert "$.gone: missing from actual result" in diffs
+        assert "$.new: unexpected new field" in diffs
+
+    def test_list_length_mismatch_reported(self):
+        diffs = field_diffs([1, 2, 3], [1, 2])
+        assert diffs[0].startswith("$: length 3 expected, got 2")
+
+    def test_scalar_mismatch_reports_values(self):
+        assert field_diffs("a", "b", "$.name") == ["$.name: expected 'a', got 'b'"]
