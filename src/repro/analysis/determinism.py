@@ -18,11 +18,18 @@ machine-enforce it:
     expression mentioning a name/attribute containing ``seed`` (a ``seed``
     parameter, ``self.seed``, ``config.seed_base + i``, ...).  A bare
     ``default_rng()`` draws OS entropy and is never reproducible.
+``DET004``
+    Any call that reads OS entropy directly: ``os.urandom``,
+    ``uuid.uuid1``/``uuid.uuid4``, the ``secrets`` module.  These are never
+    seedable, so unlike DET002 there is no "use a generator instead" fix —
+    the value must come from configuration.
 
 Resolution is purely syntactic over the module's own import aliases
 (``import numpy as np`` makes ``np.random.seed`` resolve to
 ``numpy.random.seed``), so the checks need no imports to run and cannot be
 fooled by runtime monkey-patching — by design: the *source* is the contract.
+Module-level *assignment* aliases are resolved too: ``now = time.time``
+followed by ``now()`` fires DET001 — re-binding a clock does not launder it.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from typing import Iterator
 
 from .rules import Finding, SourceModule
 
-__all__ = ["check_determinism", "resolve_aliases", "qualified_name"]
+__all__ = ["check_determinism", "resolve_aliases", "qualified_name", "ENTROPY_CALLS"]
 
 #: Fully-qualified callables that read the clock.
 WALL_CLOCK_CALLS = frozenset(
@@ -63,12 +70,32 @@ _NUMPY_SEEDABLE = frozenset(
 #: into the shared global instance.
 _RANDOM_MODULE_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
 
+#: Fully-qualified callables that read OS entropy directly (DET004).
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+        "random.SystemRandom",
+    }
+)
+
 
 def resolve_aliases(tree: ast.Module) -> dict[str, str]:
     """Map local names to the absolute dotted names they were imported as.
 
     ``import numpy as np`` yields ``{"np": "numpy"}``; ``from numpy.random
     import default_rng`` yields ``{"default_rng": "numpy.random.default_rng"}``.
+    Module-level assignment aliases of dotted chains resolve too:
+    ``now = time.time`` yields ``{"now": "time.time"}`` (in statement order,
+    so ``t = time`` followed by ``clock = t.perf_counter`` chains through).
     """
     aliases: dict[str, str] = {}
     for node in ast.walk(tree):
@@ -85,6 +112,15 @@ def resolve_aliases(tree: ast.Module) -> dict[str, str]:
             for alias in node.names:
                 local = alias.asname or alias.name
                 aliases[local] = f"{node.module}.{alias.name}"
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and isinstance(
+                node.value, (ast.Name, ast.Attribute)
+            ):
+                dotted = qualified_name(node.value, aliases)
+                if dotted is not None and dotted != target.id:
+                    aliases.setdefault(target.id, dotted)
     return aliases
 
 
@@ -113,7 +149,7 @@ def _mentions_seed(node: ast.expr) -> bool:
 
 
 def check_determinism(module: SourceModule) -> Iterator[Finding]:
-    """Run DET001–DET003 over one module."""
+    """Run DET001–DET004 over one module."""
     aliases = resolve_aliases(module.tree)
     path = str(module.path)
     for node in ast.walk(module.tree):
@@ -125,6 +161,14 @@ def check_determinism(module: SourceModule) -> Iterator[Finding]:
         if name in WALL_CLOCK_CALLS:
             yield Finding(
                 path, node.lineno, "DET001", f"call to wall-clock function {name}()"
+            )
+        elif name in ENTROPY_CALLS or name.startswith("secrets."):
+            yield Finding(
+                path,
+                node.lineno,
+                "DET004",
+                f"{name}() reads OS entropy and is never reproducible; take "
+                f"the value from explicit configuration instead",
             )
         elif name == "numpy.random.default_rng":
             arguments = list(node.args) + [kw.value for kw in node.keywords]

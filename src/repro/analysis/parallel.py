@@ -1,0 +1,474 @@
+"""PAR rule family: the batch worker path is provably parallel-safe.
+
+:mod:`repro.batch` fans sweep tasks across ``ProcessPoolExecutor`` workers
+under a hard contract — jobs=1 / jobs=N / warm-cache reruns are
+bit-identical.  The tests enforce that contract dynamically; this module
+enforces it *statically*, so a future change that reaches module-level
+mutable state, an unpicklable capture, or a fork-unsafe resource from a
+worker entry point fails the lint gate with the exact call chain, not a
+flaky sweep three PRs later.
+
+The analysis composes the other two layers:
+:func:`repro.analysis.callgraph.build_call_graph` answers *what can a
+worker run*, :func:`repro.analysis.effects.infer_effects` answers *what
+does each function do*, and the rules intersect the two:
+
+``PAR001``
+    A worker-reachable function mutates module-level state.  Workers fork
+    from the parent, so a mutation is per-process divergence the merge
+    step can never see — exactly the nondeterminism the batch contract
+    forbids.
+``PAR002``
+    A pickle-boundary task type (``SweepTask``, ``TraceSpec``) declares a
+    field that cannot cross the pickle boundary (callables, handles,
+    locks, iterators), or holds one on instance state.
+``PAR003``
+    A fork-unsafe resource created pre-fork (module-level lock, executor,
+    open handle) is used from a worker-reachable function — or a worker
+    spawns processes/threads itself (nested pools inside forked workers
+    deadlock).
+``PAR004``
+    A worker-reachable function is nondeterministic — the DET facts of
+    :mod:`repro.analysis.determinism`, lifted interprocedurally.
+    Pragma-sanctioned sites (the reviewed ``WallClock``) do not count.
+``PAR005``
+    A worker-reachable function emits an obs counter that is not declared
+    in the ``repro.obs.counters`` vocabulary — workers stream telemetry
+    to the parent, so an undeclared name silently falls out of every
+    aggregation.
+
+**Worker entry points are data**: :data:`WORKER_ENTRY_POINTS` lists every
+function the batch runner submits to a pool, plus the flow adapters its
+dict dispatch reaches; the planned ``repro serve`` plugin registry extends
+this tuple in the same commit that adds the plugin type.  The golden test
+``tests/test_analysis_callgraph.py`` pins the reachable set, so drift in
+what a worker can execute shows up as a reviewable diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .callgraph import CallGraph, build_call_graph
+from .effects import (
+    FORK_UNSAFE_CONSTRUCTORS,
+    HOLDS_UNPICKLABLE,
+    MUTATES_GLOBAL,
+    NONDETERMINISTIC,
+    SPAWNS,
+    WRITES_FS,
+    EffectSummary,
+    infer_effects,
+)
+from .rules import Finding, SourceModule
+
+__all__ = [
+    "WorkerEntryPoint",
+    "WORKER_ENTRY_POINTS",
+    "PICKLE_BOUNDARY_TYPES",
+    "SANCTIONED_FS_MODULES",
+    "OBS_COUNTERS_MODULE",
+    "check_parallel",
+    "reachability_report",
+]
+
+
+@dataclass(frozen=True)
+class WorkerEntryPoint:
+    """One function that runs inside a worker process, and why."""
+
+    qualname: str
+    reason: str
+
+
+#: Every function submitted to (or dispatched inside) a batch worker.
+#: ``run_flow`` dispatches through the ``_FLOWS`` dict — dynamic, so the
+#: adapters are declared explicitly rather than inferred.  Future ``repro
+#: serve`` plugin types append here in the commit that registers them.
+WORKER_ENTRY_POINTS: tuple[WorkerEntryPoint, ...] = (
+    WorkerEntryPoint(
+        "repro.batch.runner._execute_task",
+        "submitted to ProcessPoolExecutor by repro.batch.runner.run_sweep",
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows.run_flow",
+        "flow dispatcher called inside every worker",
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows._run_e1", "e1_clustering adapter via _FLOWS dispatch"
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows._run_e2", "e2_compression adapter via _FLOWS dispatch"
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows._run_e3", "e3_encoding adapter via _FLOWS dispatch"
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows._run_e4", "e4_reconfig adapter via _FLOWS dispatch"
+    ),
+    WorkerEntryPoint(
+        "repro.batch.flows._run_flaky",
+        "fault-injection adapter via _FLOWS dispatch (retry tests)",
+    ),
+)
+
+#: Task types that cross the pickle boundary between parent and workers.
+PICKLE_BOUNDARY_TYPES: tuple[str, ...] = (
+    "repro.batch.spec.SweepTask",
+    "repro.batch.spec.TraceSpec",
+)
+
+#: Modules sanctioned to write the filesystem from the worker path — the
+#: content-addressed result cache is *designed* for concurrent writers
+#: (atomic tmp-file + rename).  Everything else a worker writes is suspect.
+SANCTIONED_FS_MODULES = frozenset({"repro.batch.cache"})
+
+#: The module that declares the counter vocabulary (PAR005 cross-checks it).
+OBS_COUNTERS_MODULE = "repro.obs.counters"
+
+#: Type names (resolved dotted name, or its final segment) that cannot
+#: cross the pickle boundary.
+_UNPICKLABLE_TYPE_NAMES = frozenset(
+    {
+        "Callable",
+        "FunctionType",
+        "LambdaType",
+        "MethodType",
+        "ModuleType",
+        "GeneratorType",
+        "Iterator",
+        "Generator",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "IOBase",
+        "TextIOBase",
+        "RawIOBase",
+        "BufferedIOBase",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+        "Thread",
+        "Process",
+        "Executor",
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+        "Queue",
+        "SimpleQueue",
+        "socket",
+        "memoryview",
+    }
+)
+
+
+def _entry_qualnames(
+    graph: CallGraph, entry_points: Sequence[WorkerEntryPoint]
+) -> list[str]:
+    return [entry.qualname for entry in entry_points if entry.qualname in graph.functions]
+
+
+def check_parallel(
+    modules: list[SourceModule],
+    entry_points: Sequence[WorkerEntryPoint] = WORKER_ENTRY_POINTS,
+    boundary_types: Sequence[str] = PICKLE_BOUNDARY_TYPES,
+    counters_module: str = OBS_COUNTERS_MODULE,
+) -> Iterator[Finding]:
+    """Run PAR001–PAR005 over the project's call graph and effect summary.
+
+    ``entry_points``, ``boundary_types``, and ``counters_module`` are
+    parameters so synthetic trees can be checked in tests; the defaults are
+    the shipped registry.  A scan that includes none of the entry points
+    (a partial ``repro lint src/repro/analysis`` run, say) yields nothing —
+    there is no worker path to prove anything about.
+    """
+    graph = build_call_graph(modules)
+    effects = infer_effects(graph, modules)
+    entries = _entry_qualnames(graph, entry_points)
+    reachable = graph.reachable(entries)
+
+    yield from _check_worker_effects(graph, effects, reachable)
+    yield from _check_prefork_resources(graph, reachable)
+    yield from _check_boundary_types(graph, effects, boundary_types)
+    yield from _check_worker_counters(graph, reachable, counters_module)
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+def _check_worker_effects(
+    graph: CallGraph,
+    effects: EffectSummary,
+    reachable: dict[str, tuple[str, ...]],
+) -> Iterator[Finding]:
+    """PAR001 (global mutation), PAR003b (spawn), PAR004 (nondeterminism)."""
+    for qualname in sorted(reachable):
+        chain = reachable[qualname]
+        direct = effects.direct.get(qualname, {})
+        for site in direct.get(MUTATES_GLOBAL, ()):
+            yield Finding(
+                site.path,
+                site.line,
+                "PAR001",
+                f"worker-reachable function {qualname} {site.detail}; workers "
+                f"fork, so the mutation diverges per process "
+                f"[{_chain_text(chain)}]",
+            )
+        for site in direct.get(SPAWNS, ()):
+            yield Finding(
+                site.path,
+                site.line,
+                "PAR003",
+                f"worker-reachable function {qualname}: {site.detail}; nested "
+                f"pools and threads inside forked workers are fork-unsafe "
+                f"[{_chain_text(chain)}]",
+            )
+        if graph.functions[qualname].module not in SANCTIONED_FS_MODULES:
+            for site in direct.get(WRITES_FS, ()):
+                yield Finding(
+                    site.path,
+                    site.line,
+                    "PAR003",
+                    f"worker-reachable function {qualname}: {site.detail}; "
+                    f"concurrent workers racing on filesystem state outside the "
+                    f"sanctioned cache layer [{_chain_text(chain)}]",
+                )
+        for site in direct.get(NONDETERMINISTIC, ()):
+            yield Finding(
+                site.path,
+                site.line,
+                "PAR004",
+                f"worker-reachable function {qualname} is nondeterministic "
+                f"({site.detail}); results must depend only on the task "
+                f"[{_chain_text(chain)}]",
+            )
+
+
+def _check_prefork_resources(
+    graph: CallGraph, reachable: dict[str, tuple[str, ...]]
+) -> Iterator[Finding]:
+    """PAR003a: module-level fork-unsafe resources used from workers."""
+    prefork = {
+        qualname: binding
+        for qualname, binding in graph.module_bindings.items()
+        if binding.value_call in FORK_UNSAFE_CONSTRUCTORS
+    }
+    if not prefork:
+        return
+    for qualname in sorted(reachable):
+        chain = reachable[qualname]
+        node = graph.functions[qualname]
+        for read, line in sorted(graph.reads.get(qualname, {}).items()):
+            binding = prefork.get(read)
+            if binding is None:
+                continue
+            yield Finding(
+                node.path,
+                line,
+                "PAR003",
+                f"worker-reachable function {qualname} uses {read} — a "
+                f"{binding.value_call}() created pre-fork at module level "
+                f"(line {binding.line}); fork-unsafe across the pool boundary "
+                f"[{_chain_text(chain)}]",
+            )
+
+
+def _check_boundary_types(
+    graph: CallGraph,
+    effects: EffectSummary,
+    boundary_types: Sequence[str],
+) -> Iterator[Finding]:
+    """PAR002: pickle-boundary task types must be transitively picklable."""
+    for class_qualname in boundary_types:
+        yield from _check_picklable_class(graph, effects, class_qualname, seen=set())
+
+
+def _check_picklable_class(
+    graph: CallGraph,
+    effects: EffectSummary,
+    class_qualname: str,
+    seen: set[str],
+) -> Iterator[Finding]:
+    if class_qualname in seen:
+        return
+    seen.add(class_qualname)
+    info = graph.classes.get(class_qualname)
+    if info is None:
+        return
+    aliases = graph.aliases.get(info.module, {})
+    for name in sorted(info.fields):
+        field_info = info.fields[name]
+        if field_info.annotation is None:
+            continue
+        for offender in _unpicklable_names(field_info.annotation, aliases, graph):
+            yield Finding(
+                info.path,
+                field_info.line,
+                "PAR002",
+                f"field {class_qualname}.{name}: {field_info.annotation!r} "
+                f"mentions {offender}, which cannot cross the worker pickle "
+                f"boundary",
+            )
+        # In-package field types are themselves boundary types: recurse.
+        if field_info.type_qualname in graph.classes:
+            yield from _check_picklable_class(
+                graph, effects, field_info.type_qualname, seen
+            )
+    for method_name in sorted(info.methods):
+        method = info.methods[method_name]
+        for site in effects.direct.get(method, {}).get(HOLDS_UNPICKLABLE, ()):
+            yield Finding(
+                site.path,
+                site.line,
+                "PAR002",
+                f"pickle-boundary type {class_qualname} {site.detail}",
+            )
+
+
+def _unpicklable_names(
+    annotation: str, aliases: dict[str, str], graph: CallGraph
+) -> Iterator[str]:
+    """Names in an annotation string that denote unpicklable types."""
+    try:
+        tree = ast.parse(annotation, mode="eval")
+    except SyntaxError:
+        return
+    reported: set[str] = set()
+    for node in ast.walk(tree.body):
+        dotted: str | None = None
+        if isinstance(node, ast.Name):
+            dotted = aliases.get(node.id, node.id)
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            head = aliases.get(node.value.id, node.value.id)
+            dotted = f"{head}.{node.attr}"
+        if dotted is None or dotted in reported:
+            continue
+        last = dotted.rsplit(".", 1)[-1]
+        if dotted in _UNPICKLABLE_TYPE_NAMES or last in _UNPICKLABLE_TYPE_NAMES:
+            reported.add(dotted)
+            yield dotted
+
+
+def _check_worker_counters(
+    graph: CallGraph,
+    reachable: dict[str, tuple[str, ...]],
+    counters_module: str,
+) -> Iterator[Finding]:
+    """PAR005: counters emitted from workers must be declared vocabulary."""
+    vocabulary = _counter_vocabulary_from_graph(graph, counters_module)
+    for qualname in sorted(reachable):
+        chain = reachable[qualname]
+        node = graph.functions[qualname]
+        if node.node is None or not isinstance(
+            node.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        aliases = graph.aliases.get(node.module, {})
+        for call in ast.walk(node.node):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "counter"
+                and call.args
+            ):
+                continue
+            problem = _undeclared_counter(call.args[0], aliases, vocabulary, counters_module)
+            if problem is not None:
+                yield Finding(
+                    node.path,
+                    call.lineno,
+                    "PAR005",
+                    f"worker-reachable function {qualname} emits {problem}; "
+                    f"declare the counter in {counters_module} "
+                    f"[{_chain_text(chain)}]",
+                )
+
+
+def _counter_vocabulary_from_graph(
+    graph: CallGraph, counters_module: str
+) -> tuple[set[str], set[str]] | None:
+    module_node = graph.functions.get(counters_module + ".<module>")
+    if module_node is None or not isinstance(module_node.node, ast.Module):
+        return None
+    names: set[str] = set()
+    values: set[str] = set()
+    for statement in module_node.node.body:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, str)
+            ):
+                names.add(f"{counters_module}.{target.id}")
+                values.add(statement.value.value)
+    return names, values
+
+
+def _undeclared_counter(
+    argument: ast.expr,
+    aliases: dict[str, str],
+    vocabulary: tuple[set[str], set[str]] | None,
+    counters_module: str,
+) -> str | None:
+    """Describe the problem with a counter-name argument, or ``None`` if fine.
+
+    With no vocabulary in scope (the counters module was not part of the
+    scan) only *dynamic* names are flagged — a partial lint should not
+    condemn every constant it cannot see.
+    """
+    if isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+        if vocabulary is None:
+            return None
+        if argument.value in vocabulary[1]:
+            return None
+        return f"string-literal counter {argument.value!r} not in the declared vocabulary"
+    if isinstance(argument, (ast.Name, ast.Attribute)):
+        dotted = None
+        if isinstance(argument, ast.Name):
+            dotted = aliases.get(argument.id)
+        else:
+            if isinstance(argument.value, ast.Name):
+                head = aliases.get(argument.value.id, argument.value.id)
+                dotted = f"{head}.{argument.attr}"
+        if dotted is None:
+            return "a counter whose name is a local value, not a declared constant"
+        if vocabulary is None:
+            return None
+        if dotted in vocabulary[0]:
+            return None
+        if dotted.startswith(counters_module + "."):
+            return f"counter constant {dotted} missing from the vocabulary module"
+        return f"counter name {dotted} imported from outside {counters_module}"
+    return "a dynamically computed counter name"
+
+
+def reachability_report(
+    modules: list[SourceModule],
+    entry_points: Sequence[WorkerEntryPoint] = WORKER_ENTRY_POINTS,
+) -> dict:
+    """The worker-reachability facts the golden test pins, as plain JSON.
+
+    Keys: the resolved ``entry_points``, the sorted ``reachable`` function
+    set with one witness chain each, and the call graph's unresolved-call
+    count broken down by reason — so reachability drift *and* resolution
+    drift both show up as a reviewable diff.
+    """
+    graph = build_call_graph(modules)
+    entries = _entry_qualnames(graph, entry_points)
+    reachable = graph.reachable(entries)
+    return {
+        "schema": 1,
+        "entry_points": entries,
+        "reachable": {
+            qualname: list(chain) for qualname, chain in sorted(reachable.items())
+        },
+        "unresolved_calls": len(graph.unresolved),
+        "unresolved_by_reason": graph.unresolved_summary(),
+    }

@@ -25,6 +25,13 @@ Rule families
     consistent physical unit, inferred by dataflow from the suffix
     convention and the unit registry
     (see :mod:`repro.analysis.units` and :mod:`repro.analysis.unitmodel`).
+``PAR``
+    Parallel safety — nothing reachable from a batch worker entry point
+    mutates module globals, captures unpicklable state, acquires fork-unsafe
+    resources, goes nondeterministic, or emits undeclared telemetry; proved
+    interprocedurally over the package call graph
+    (see :mod:`repro.analysis.callgraph`, :mod:`repro.analysis.effects`,
+    and :mod:`repro.analysis.parallel`).
 ``SYN``
     Files the linter could not parse at all.
 """
@@ -113,6 +120,12 @@ RULES: dict[str, Rule] = _registry(
         "module",
     ),
     Rule(
+        "DET004",
+        "os-entropy",
+        "module reads OS entropy (os.urandom, uuid.uuid4, secrets)",
+        "module",
+    ),
+    Rule(
         "CON001",
         "valueerror-without-value",
         "raise ValueError without the offending value in the message",
@@ -158,6 +171,38 @@ RULES: dict[str, Rule] = _registry(
         "unitless-literal",
         "unitless literal folded into dimensioned arithmetic outside the allowlist",
         "module",
+    ),
+    Rule(
+        "PAR001",
+        "worker-global-mutation",
+        "a worker-reachable function mutates module-level state",
+        "project",
+    ),
+    Rule(
+        "PAR002",
+        "unpicklable-task-capture",
+        "a pickle-boundary task type holds state that cannot cross to a worker",
+        "project",
+    ),
+    Rule(
+        "PAR003",
+        "fork-unsafe-resource",
+        "a fork-unsafe resource is acquired pre-fork and used from a worker, "
+        "or a worker spawns/writes concurrently-shared state",
+        "project",
+    ),
+    Rule(
+        "PAR004",
+        "worker-nondeterminism",
+        "a worker-reachable function carries a DET fact interprocedurally",
+        "project",
+    ),
+    Rule(
+        "PAR005",
+        "undeclared-worker-counter",
+        "a worker-reachable function emits an obs counter missing from the "
+        "declared vocabulary",
+        "project",
     ),
 )
 

@@ -9,14 +9,17 @@ offending line (or on line 1 for a whole file).
 Reports
 -------
 :class:`LintReport` carries the findings plus scan metadata and renders
-either as text (``path:line: RULE message`` per finding, then a summary) or
-as JSON with a stable, versioned schema::
+as text (``path:line: RULE message`` per finding, then a summary), as JSON
+with a stable, versioned schema::
 
     {"version": 1,
      "files_scanned": 82,
      "findings": [{"path": ..., "line": ..., "rule": ..., "name": ...,
                    "message": ...}],
      "rules": ["API001", ...]}
+
+or as SARIF 2.1.0 (``--format sarif``) so CI uploads render findings as
+GitHub code-scanning annotations.
 """
 
 from __future__ import annotations
@@ -30,12 +33,22 @@ from .api import check_api
 from .conventions import check_conventions
 from .determinism import check_determinism
 from .imports import REPRO_LAYER_MODEL, LayerModel, check_layering
+from .parallel import check_parallel
 from .rules import ALL_RULES, RULES, Finding, SourceModule, load_module, parse_pragmas
 from .units import check_units
 
-__all__ = ["LintReport", "run_lint", "collect_files", "default_target"]
+__all__ = ["LintReport", "run_lint", "collect_files", "default_target", "SARIF_VERSION"]
 
 _MODULE_CHECKS = (check_determinism, check_conventions, check_api, check_units)
+
+#: The SARIF spec version :meth:`LintReport.to_sarif` emits (the one GitHub
+#: code scanning ingests).
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 @dataclass
@@ -90,6 +103,71 @@ class LintReport:
         if statistics:
             payload["statistics"] = self.statistics()
         return json.dumps(payload, indent=2)
+
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 report — the schema GitHub code scanning ingests.
+
+        Every registered rule is described in the tool's rule table (so
+        annotations carry names and summaries), each finding becomes one
+        ``result`` with a physical location, and paths are emitted
+        repo-relative (POSIX separators) when they live under the working
+        directory — the form code-scanning annotations require.
+        """
+        rule_ids = sorted(RULES)
+        rule_index = {rule_id: position for position, rule_id in enumerate(rule_ids)}
+        results = []
+        for finding in self.findings:
+            result = {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _sarif_uri(finding.path)},
+                            "region": {"startLine": max(finding.line, 1)},
+                        }
+                    }
+                ],
+            }
+            if finding.rule in rule_index:
+                result["ruleIndex"] = rule_index[finding.rule]
+            results.append(result)
+        payload = {
+            "$schema": _SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "https://example.invalid/repro",
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "name": RULES[rule_id].name,
+                                    "shortDescription": {
+                                        "text": RULES[rule_id].summary
+                                    },
+                                }
+                                for rule_id in rule_ids
+                            ],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative POSIX URI for a finding path (absolute when outside)."""
+    candidate = Path(path)
+    try:
+        return candidate.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return candidate.as_posix()
 
 
 def default_target() -> Path:
@@ -175,6 +253,7 @@ def run_lint(
             findings.extend(check(module))
 
     findings.extend(check_layering(modules, model))
+    findings.extend(check_parallel(modules))
 
     findings = [
         finding

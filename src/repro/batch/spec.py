@@ -61,7 +61,10 @@ def _generators() -> dict:
             ValueTraceGenerator,
         )
 
-        GENERATORS.update(
+        # Idempotent memo fill: every process computes the identical mapping
+        # from the same import graph, and it is read-only afterwards — no
+        # per-worker divergence is observable.
+        GENERATORS.update(  # repro: lint-ignore[PAR001]
             {
                 "hot_cold": HotColdGenerator,
                 "loop_nest": LoopNestGenerator,

@@ -411,6 +411,8 @@ def _cmd_lint(args) -> int:
         raise SystemExit(f"error: {error}")
     if args.format == "json":
         print(report.to_json(statistics=args.statistics))
+    elif args.format == "sarif":
+        print(report.to_sarif())
     else:
         print(report.render_text(statistics=args.statistics))
     return 0 if report.clean else 1
@@ -777,7 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", metavar="PATH",
         help="files or directories to lint (default: the installed package)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text")
     lint.add_argument(
         "--select", action="append", metavar="RULE,...", default=[],
         help="restrict to the given rule ids or family prefixes like UNT "

@@ -260,6 +260,110 @@ class TestDeterminismRules:
         )
         assert rules_fired(findings) == {"DET003"}
 
+    def test_os_entropy_fires_det004(self, tmp_path):
+        findings = module_findings(
+            tmp_path,
+            """
+            import os
+            import uuid
+            import secrets
+
+            def token():
+                return os.urandom(16), uuid.uuid4(), secrets.token_hex(8)
+            """,
+            check_determinism,
+        )
+        assert [f.rule for f in findings] == ["DET004", "DET004", "DET004"]
+
+    def test_aliased_entropy_import_fires_det004(self, tmp_path):
+        findings = module_findings(
+            tmp_path,
+            """
+            from os import urandom as noise
+            from uuid import uuid4
+
+            def token():
+                return noise(8) + uuid4().bytes
+            """,
+            check_determinism,
+        )
+        assert [f.rule for f in findings] == ["DET004", "DET004"]
+
+    def test_assignment_alias_of_clock_fires_det001(self, tmp_path):
+        findings = module_findings(
+            tmp_path,
+            """
+            import time
+
+            now = time.time
+
+            def stamp():
+                return now()
+            """,
+            check_determinism,
+        )
+        assert rules_fired(findings) == {"DET001"}
+
+    def test_assignment_alias_of_datetime_now_fires_det001(self, tmp_path):
+        findings = module_findings(
+            tmp_path,
+            """
+            from datetime import datetime as dt
+
+            wallclock = dt.now
+
+            def stamp():
+                return wallclock()
+            """,
+            check_determinism,
+        )
+        assert rules_fired(findings) == {"DET001"}
+
+    def test_assignment_alias_of_urandom_fires_det004(self, tmp_path):
+        findings = module_findings(
+            tmp_path,
+            """
+            import os
+
+            entropy = os.urandom
+
+            def token():
+                return entropy(16)
+            """,
+            check_determinism,
+        )
+        assert rules_fired(findings) == {"DET004"}
+
+    def test_det004_pragma_suppresses(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(
+                """
+                import os
+
+                def token():
+                    return os.urandom(16)  # repro: lint-ignore[DET004]
+                """
+            )
+        )
+        report = run_lint([tmp_path], select=["DET004"])
+        assert report.clean
+
+    def test_assignment_alias_pragma_suppresses_det001(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                now = time.time
+
+                def stamp():
+                    return now()  # repro: lint-ignore[DET001]
+                """
+            )
+        )
+        report = run_lint([tmp_path], select=["DET001"])
+        assert report.clean
+
 
 class TestConventionRules:
     def test_static_valueerror_message_fires_con001(self, tmp_path):

@@ -1,0 +1,106 @@
+"""SARIF output tests: ``repro lint --format sarif`` against a fixture tree.
+
+SARIF 2.1.0 is the schema GitHub code scanning ingests, so the shape the
+tests pin here — tool driver, rule table, result/location structure,
+repo-relative URIs — is a compatibility contract, not a formatting choice.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.rules import RULES
+from repro.analysis.runner import SARIF_VERSION
+from repro.cli import main
+
+#: One file firing two different rules on known lines.
+FIXTURE_SOURCE = """
+def f(x, items=[]):
+    raise ValueError("static message")
+"""
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """A tree with deliberate CON001 (line 3) and CON003 (line 2) findings."""
+    target = tmp_path / "dirty.py"
+    target.write_text(textwrap.dedent(FIXTURE_SOURCE))
+    return target
+
+
+def sarif_for(path, select):
+    report = run_lint([path], select=select)
+    return json.loads(report.to_sarif())
+
+
+class TestSarifDocument:
+    def test_version_and_schema(self, fixture_tree):
+        payload = sarif_for(fixture_tree, ["CON001"])
+        assert payload["version"] == SARIF_VERSION == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+
+    def test_driver_rule_table_covers_registry(self, fixture_tree):
+        payload = sarif_for(fixture_tree, ["CON001"])
+        [run] = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        listed = [rule["id"] for rule in driver["rules"]]
+        assert listed == sorted(RULES)
+        for rule in driver["rules"]:
+            assert rule["name"] == RULES[rule["id"]].name
+            assert rule["shortDescription"]["text"] == RULES[rule["id"]].summary
+
+    def test_results_reference_rule_table_by_index(self, fixture_tree):
+        payload = sarif_for(fixture_tree, ["CON001", "CON003"])
+        [run] = payload["runs"]
+        rules = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert len(run["results"]) == 2
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+
+    def test_result_locations_anchor_file_and_line(self, fixture_tree):
+        payload = sarif_for(fixture_tree, ["CON001"])
+        [result] = payload["runs"][0]["results"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("dirty.py")
+        assert location["region"]["startLine"] == 3
+
+    def test_uri_is_posix_and_repo_relative_when_inside(self, monkeypatch, tmp_path):
+        tree = tmp_path / "sub" / "dir"
+        tree.mkdir(parents=True)
+        target = tree / "dirty.py"
+        target.write_text(textwrap.dedent(FIXTURE_SOURCE))
+        monkeypatch.chdir(tmp_path)
+        payload = sarif_for(Path("sub/dir/dirty.py"), ["CON001"])
+        [result] = payload["runs"][0]["results"]
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "sub/dir/dirty.py"
+
+    def test_clean_run_has_empty_results(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Docs."""\n')
+        payload = sarif_for(clean, None)
+        assert payload["runs"][0]["results"] == []
+
+
+class TestSarifCli:
+    def test_cli_format_sarif_parses_and_exits_one(self, fixture_tree, capsys):
+        code = main(["lint", str(fixture_tree), "--format", "sarif", "--select", "CON001"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"][0]["ruleId"] == "CON001"
+
+    def test_cli_clean_sarif_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Docs."""\n')
+        assert main(["lint", str(clean), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
