@@ -1,9 +1,11 @@
 """Lint-runtime budget: the whole-package lint must stay fast enough for CI.
 
-The PAR family made ``repro lint`` interprocedural — call-graph
+The PAR and SER families made ``repro lint`` interprocedural — call-graph
 construction plus an effect fixpoint over every function — so its cost now
-scales with the whole package, not per file.  This benchmark pins that
-cost two ways:
+scales with the whole package, not per file.  The runner builds that call
+graph once and shares it across families (pinned by
+``tests/test_analysis_serialization.py``); this benchmark pins the cost
+two ways:
 
 * a hard wall-clock **budget** asserted here (generous, so slow CI runners
   never flake, but a quadratic blow-up in the fixpoint or the resolver
@@ -43,4 +45,15 @@ def test_full_package_lint_runtime(benchmark):
 def test_par_only_lint_runtime(benchmark):
     """The PAR family alone: call graph + effects + reachability."""
     report = benchmark(run_lint, select=["PAR"])
+    assert report.clean, report.render_text()
+
+
+def test_ser_only_lint_runtime(benchmark):
+    """The SER family alone: call graph + schema extraction + reachability.
+
+    SER shares the runner's single call graph with PAR, so this should
+    cost roughly one graph build plus cheap per-schema walks; a large gap
+    versus ``test_par_only_lint_runtime`` means the sharing regressed.
+    """
+    report = benchmark(run_lint, select=["SER"])
     assert report.clean, report.render_text()

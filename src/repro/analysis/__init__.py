@@ -2,10 +2,11 @@
 
 This package machine-enforces the invariants ARCHITECTURE.md documents —
 the layering diagram, the determinism policy, the error-handling
-conventions, public-API hygiene, the units-and-dimensions convention, and
-the parallel-safety contract of the batch worker path — by parsing the
-package with :mod:`ast`.  It is a *leaf*: it imports nothing from the rest
-of ``repro``, so it can lint a broken tree.
+conventions, public-API hygiene, the units-and-dimensions convention, the
+parallel-safety contract of the batch worker path, and the serialization
+contracts of every persisted artifact — by parsing the package with
+:mod:`ast`.  It is a *leaf*: it imports nothing from the rest of
+``repro``, so it can lint a broken tree.
 
 Usage::
 
@@ -16,8 +17,9 @@ Usage::
 or from the command line: ``repro lint [--format json] [--select RULE,...]``.
 
 See :data:`repro.analysis.imports.REPRO_LAYER_MODEL` for the layering
-diagram as data, and :data:`repro.analysis.rules.RULES` for the registry of
-checks.
+diagram as data, :data:`repro.analysis.schemamodel.REPRO_SCHEMA_MODEL`
+for the persisted-schema registry, and :data:`repro.analysis.rules.RULES`
+for the registry of checks.
 """
 
 from .callgraph import CallGraph, build_call_graph
@@ -31,6 +33,13 @@ from .parallel import (
 )
 from .rules import RULES, Finding, Rule, SourceModule, load_module
 from .runner import LintReport, run_lint
+from .schemamodel import (
+    REPRO_SCHEMA_MODEL,
+    FingerprintSpec,
+    SchemaModel,
+    SchemaSpec,
+)
+from .serialization import check_serialization, schema_report
 from .unitmodel import REPRO_UNIT_MODEL, FunctionUnits, Unit, UnitModel
 from .units import SuffixSuggestion, check_units, suggest_suffix_renames
 
@@ -63,4 +72,10 @@ __all__ = [
     "WORKER_ENTRY_POINTS",
     "check_parallel",
     "reachability_report",
+    "SchemaModel",
+    "SchemaSpec",
+    "FingerprintSpec",
+    "REPRO_SCHEMA_MODEL",
+    "check_serialization",
+    "schema_report",
 ]

@@ -178,16 +178,20 @@ def check_parallel(
     entry_points: Sequence[WorkerEntryPoint] = WORKER_ENTRY_POINTS,
     boundary_types: Sequence[str] = PICKLE_BOUNDARY_TYPES,
     counters_module: str = OBS_COUNTERS_MODULE,
+    graph: CallGraph | None = None,
 ) -> Iterator[Finding]:
     """Run PAR001–PAR005 over the project's call graph and effect summary.
 
     ``entry_points``, ``boundary_types``, and ``counters_module`` are
     parameters so synthetic trees can be checked in tests; the defaults are
-    the shipped registry.  A scan that includes none of the entry points
-    (a partial ``repro lint src/repro/analysis`` run, say) yields nothing —
-    there is no worker path to prove anything about.
+    the shipped registry.  ``graph`` accepts a pre-built call graph (the
+    runner shares one across all project-scope families); when ``None``
+    one is built from ``modules``.  A scan that includes none of the entry
+    points (a partial ``repro lint src/repro/analysis`` run, say) yields
+    nothing — there is no worker path to prove anything about.
     """
-    graph = build_call_graph(modules)
+    if graph is None:
+        graph = build_call_graph(modules)
     effects = infer_effects(graph, modules)
     entries = _entry_qualnames(graph, entry_points)
     reachable = graph.reachable(entries)

@@ -32,6 +32,14 @@ Rule families
     interprocedurally over the package call graph
     (see :mod:`repro.analysis.callgraph`, :mod:`repro.analysis.effects`,
     and :mod:`repro.analysis.parallel`).
+``SER``
+    Serialization & schema contracts — every persisted artifact's
+    writer/reader pair agrees on the field set, emission is canonical
+    (``sort_keys=True``, no set-ordered values), field-set changes are
+    pinned against the schema registry and its version constants, and
+    fingerprint functions cover every field that influences results
+    (see :mod:`repro.analysis.serialization` and
+    :mod:`repro.analysis.schemamodel`).
 ``SYN``
     Files the linter could not parse at all.
 """
@@ -202,6 +210,41 @@ RULES: dict[str, Rule] = _registry(
         "undeclared-worker-counter",
         "a worker-reachable function emits an obs counter missing from the "
         "declared vocabulary",
+        "project",
+    ),
+    Rule(
+        "SER001",
+        "writer-reader-field-drift",
+        "a persisted-schema key is written but never read, or read but "
+        "never written, and not declared as a deliberate asymmetry",
+        "project",
+    ),
+    Rule(
+        "SER002",
+        "non-canonical-emission",
+        "a persisted path emits JSON without sort_keys=True, or a "
+        "set-ordered value flows into a persisted payload",
+        "project",
+    ),
+    Rule(
+        "SER003",
+        "schema-drift-without-version-bump",
+        "a persisted schema's field set or version constant disagrees with "
+        "the schema-registry pin",
+        "project",
+    ),
+    Rule(
+        "SER004",
+        "fingerprint-incompleteness",
+        "a fingerprinted dataclass field is missing from its fingerprint "
+        "payload without a declared exemption",
+        "project",
+    ),
+    Rule(
+        "SER005",
+        "float-repr-hazard",
+        "lossy numeric formatting (round, format specs, %-formatting) on a "
+        "persisted payload value",
         "project",
     ),
 )

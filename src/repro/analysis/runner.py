@@ -30,16 +30,29 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .api import check_api
+from .callgraph import build_call_graph
 from .conventions import check_conventions
 from .determinism import check_determinism
 from .imports import REPRO_LAYER_MODEL, LayerModel, check_layering
 from .parallel import check_parallel
 from .rules import ALL_RULES, RULES, Finding, SourceModule, load_module, parse_pragmas
+from .serialization import check_serialization
 from .units import check_units
 
-__all__ = ["LintReport", "run_lint", "collect_files", "default_target", "SARIF_VERSION"]
+__all__ = [
+    "LintReport",
+    "run_lint",
+    "collect_files",
+    "default_target",
+    "SARIF_VERSION",
+    "LINT_REPORT_SCHEMA_VERSION",
+]
 
 _MODULE_CHECKS = (check_determinism, check_conventions, check_api, check_units)
+
+#: Version of the :meth:`LintReport.to_json` payload layout.  Additions
+#: (new keys) keep it; renames or removals bump it.
+LINT_REPORT_SCHEMA_VERSION = 1
 
 #: The SARIF spec version :meth:`LintReport.to_sarif` emits (the one GitHub
 #: code scanning ingests).
@@ -71,11 +84,20 @@ class LintReport:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return dict(sorted(counts.items()))
 
+    def family_statistics(self) -> dict[str, int]:
+        """Per-family finding counts (the leading alphabetic prefix of a rule id)."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            family = finding.rule.rstrip("0123456789")
+            counts[family] = counts.get(family, 0) + 1
+        return dict(sorted(counts.items()))
+
     def render_text(self, statistics: bool = False) -> str:
         """Human-readable report: one line per finding plus a summary.
 
-        With ``statistics`` a per-rule count block (rule id, name, count) is
-        appended — the ``repro lint --statistics`` output CI logs rely on.
+        With ``statistics`` a per-rule count block (rule id, name, count)
+        and a per-family total block are appended — the ``repro lint
+        --statistics`` output CI logs rely on.
         """
         lines = [finding.render() for finding in self.findings]
         noun = "finding" if len(self.findings) == 1 else "findings"
@@ -86,23 +108,29 @@ class LintReport:
             for rule, count in self.statistics().items():
                 name = RULES[rule].name if rule in RULES else rule
                 lines.append(f"{rule} ({name}): {count}")
+            for family, count in self.family_statistics().items():
+                lines.append(f"{family} family total: {count}")
         return "\n".join(lines)
 
     def to_json(self, statistics: bool = False) -> str:
         """Machine-readable report with a stable, versioned schema.
 
         ``statistics`` adds a ``"statistics"`` object mapping rule id to
-        finding count — additive, so the schema version stays 1.
+        finding count and a ``"family_statistics"`` object mapping rule
+        family to its total — additive, so the schema version stays 1.
+        Emission is canonical (``sort_keys=True``): the report is itself a
+        persisted artifact registered in the schema model.
         """
         payload = {
-            "version": 1,
+            "version": LINT_REPORT_SCHEMA_VERSION,
             "files_scanned": self.files_scanned,
             "findings": [finding.to_dict() for finding in self.findings],
             "rules": self.rules,
         }
         if statistics:
             payload["statistics"] = self.statistics()
-        return json.dumps(payload, indent=2)
+            payload["family_statistics"] = self.family_statistics()
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     def to_sarif(self) -> str:
         """SARIF 2.1.0 report — the schema GitHub code scanning ingests.
@@ -158,7 +186,7 @@ class LintReport:
                 }
             ],
         }
-        return json.dumps(payload, indent=2)
+        return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _sarif_uri(path: str) -> str:
@@ -252,8 +280,13 @@ def run_lint(
         for check in _MODULE_CHECKS:
             findings.extend(check(module))
 
+    # One shared call graph for every project-scope family (PAR, SER):
+    # building it is the dominant interprocedural cost, so it is computed
+    # once here rather than per family.
+    graph = build_call_graph(modules)
     findings.extend(check_layering(modules, model))
-    findings.extend(check_parallel(modules))
+    findings.extend(check_parallel(modules, graph=graph))
+    findings.extend(check_serialization(modules, graph=graph))
 
     findings = [
         finding

@@ -47,8 +47,10 @@ Subcommands
     Run the architecture & determinism linter over the package (or the given
     files/directories); exit 1 if there are findings.  ``--select`` narrows
     to rule ids or family prefixes (``UNT``), ``--statistics`` appends
-    per-rule counts, and ``--fix-suffixes --dry-run`` reports unit-suffix
-    renames for locals with inferable units.
+    per-rule and per-family counts, ``--schemas`` prints the extracted
+    persisted-schema report (the ``tests/golden/schemas.json`` pin), and
+    ``--fix-suffixes --dry-run`` reports unit-suffix renames for locals
+    with inferable units.
 """
 
 from __future__ import annotations
@@ -75,7 +77,11 @@ from .trace import (
     save_npz,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "BENCH_SCHEMA_VERSION"]
+
+#: Version of the ``BENCH_columnar.json`` payload layout (stamped as its
+#: ``"schema"`` key; pinned by the schema registry).
+BENCH_SCHEMA_VERSION = 1
 
 _CODECS = {
     "differential": DifferentialCodec,
@@ -399,6 +405,8 @@ def _cmd_bist(args) -> int:
 def _cmd_lint(args) -> int:
     from .analysis import run_lint
 
+    if args.schemas:
+        return _lint_schemas(args)
     if args.fix_suffixes:
         return _lint_fix_suffixes(args)
     select = None
@@ -416,6 +424,28 @@ def _cmd_lint(args) -> int:
     else:
         print(report.render_text(statistics=args.statistics))
     return 0 if report.clean else 1
+
+
+def _lint_schemas(args) -> int:
+    import json
+
+    from .analysis import load_module, schema_report
+    from .analysis.runner import collect_files, default_target
+
+    targets = [Path(p) for p in args.paths] or [default_target()]
+    try:
+        files = collect_files(targets)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    modules = []
+    for file in files:
+        try:
+            modules.append(load_module(file))
+        except SyntaxError:
+            continue  # SYN001 territory; the normal lint path reports it
+    report = schema_report(modules)
+    print(json.dumps(report, indent=1, sort_keys=True))
+    return 0
 
 
 def _lint_fix_suffixes(args) -> int:
@@ -560,11 +590,13 @@ def _cmd_bench(args) -> int:
     out_path.write_text(
         json.dumps(
             {
+                "schema": BENCH_SCHEMA_VERSION,
                 "generated_by": "repro bench",
                 "manifest": manifest.to_dict(),
                 "results": results,
             },
             indent=2,
+            sort_keys=True,
         )
         + "\n"
     )
@@ -788,6 +820,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--statistics", action="store_true",
         help="append per-rule finding counts to the report",
+    )
+    lint.add_argument(
+        "--schemas", action="store_true",
+        help="print the extracted persisted-schema report (field sets and "
+        "versions) as canonical JSON instead of linting",
     )
     lint.add_argument(
         "--fix-suffixes", action="store_true",

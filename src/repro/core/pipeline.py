@@ -34,7 +34,17 @@ from ..trace.trace import Trace
 from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
 from .layout import BlockLayout
 
-__all__ = ["FlowConfig", "FlowResult", "FlowVariant", "MemoryOptimizationFlow"]
+__all__ = [
+    "FLOW_RESULT_SCHEMA_VERSION",
+    "FlowConfig",
+    "FlowResult",
+    "FlowVariant",
+    "MemoryOptimizationFlow",
+]
+
+#: Version of the :meth:`FlowResult.to_dict` payload layout (pinned by the
+#: schema registry; bump when keys are renamed or removed).
+FLOW_RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
