@@ -1,12 +1,20 @@
 """Benchmark harness configuration.
 
-Each benchmark runs its experiment once (``benchmark.pedantic`` with a single
-round) — these are *result-regeneration* harnesses, not micro-benchmarks, and
-one run of each experiment is what the paper reports.  Run with::
+Each benchmark runs its experiment for ``bench_rounds()`` rounds (see
+``benchmarks/_rounds.py``): one round by default — these are
+*result-regeneration* harnesses, and one run of each experiment is what
+the paper reports — and ``REPRO_BENCH_ROUNDS=5`` in CI so the export
+carries per-iteration samples for the distribution-aware gate.  Run
+locally with::
 
     pytest benchmarks/ --benchmark-only -s
 
-``-s`` shows the regenerated tables.
+``-s`` shows the regenerated tables.  The gate's input needs the raw
+samples in the JSON export::
+
+    REPRO_BENCH_ROUNDS=5 pytest benchmarks/ --benchmark-only \\
+        --benchmark-json=bench.json --benchmark-save-data
+    python benchmarks/compare.py bench.json
 
 The bare-checkout import fallback lives in the repository-root conftest.py,
 which pytest loads before this file.

@@ -25,6 +25,8 @@ from repro.memory import (
 from repro.report import render_table
 from repro.trace import ColumnarTrace
 
+from _rounds import bench_rounds
+
 NUM_EVENTS = 1_000_000
 BANK_SIZES = [16384, 16384, 16384, 16384]
 BANK_BASES = [0, 16384, 32768, 49152]
@@ -76,7 +78,7 @@ def engine_comparison() -> dict:
 
 
 def test_columnar_engine_speedup_and_identity(benchmark):
-    result = benchmark.pedantic(engine_comparison, rounds=1, iterations=1)
+    result = benchmark.pedantic(engine_comparison, rounds=bench_rounds(), iterations=1)
     print(
         render_table(
             ["engine", "1M-event play (ms)"],
@@ -109,5 +111,5 @@ def vectorized_play_1m() -> float:
 
 def test_columnar_play_1m(benchmark):
     """Vectorized 1M-event playback alone, tracked by the regression gate."""
-    total_pj = benchmark.pedantic(vectorized_play_1m, rounds=1, iterations=1)
+    total_pj = benchmark.pedantic(vectorized_play_1m, rounds=bench_rounds(), iterations=1)
     assert total_pj > 0.0

@@ -20,6 +20,8 @@ from repro.obs import JsonlRecorder, NullRecorder
 
 from test_columnar_engine import BANK_SIZES, million_event_trace
 
+from _rounds import bench_rounds
+
 OVERHEAD_BOUND_RATIO = 0.03
 NOISE_FLOOR_SECONDS = 5e-4
 ROUNDS = 5
@@ -51,7 +53,7 @@ def timed_play_pair() -> dict:
 
 
 def test_null_recorder_overhead(benchmark):
-    result = benchmark.pedantic(timed_play_pair, rounds=1, iterations=1)
+    result = benchmark.pedantic(timed_play_pair, rounds=bench_rounds(), iterations=1)
     # Recording (or not) never changes the energy result.
     assert result["distinct_totals"] == 1
     # The <3% acceptance gate, with an absolute floor against timer noise.
@@ -76,7 +78,7 @@ def test_jsonl_recorder_counts_events(tmp_path, benchmark):
         with JsonlRecorder(log_path) as recorder:
             return memory.play_vectorized(columnar, recorder=recorder).total
 
-    total_pj = benchmark.pedantic(instrumented_play, rounds=1, iterations=1)
+    total_pj = benchmark.pedantic(instrumented_play, rounds=bench_rounds(), iterations=1)
     log = read_log(log_path)
     counters = log.counters()
     assert counters.total("play.events") == len(columnar)

@@ -103,7 +103,7 @@ REPRO_LAYER_MODEL = LayerModel(
             "batch",
         }
     ),
-    leaves=frozenset({"report", "analysis"}),
+    leaves=frozenset({"report", "analysis", "benchstats"}),
     top=frozenset({"cli", "__init__"}),
     technique_deps={
         "core": frozenset({"partition"}),

@@ -306,6 +306,77 @@ REPRO_SCHEMA_MODEL = SchemaModel(
             ),
         ),
         SchemaSpec(
+            name="bench-baseline",
+            writers=("repro.benchstats.baseline.build_baseline_payload",),
+            readers=("repro.benchstats.baseline.parse_baseline",),
+            persist=("repro.benchstats.baseline.save_baseline",),
+            version_constant=(
+                "repro.benchstats.baseline.BENCH_BASELINE_SCHEMA_VERSION"
+            ),
+            version=2,
+            fields=(
+                "benchmarks",
+                "manifest",
+                "median_seconds",
+                "note",
+                "samples",
+                "schema",
+                "suite_median_seconds",
+            ),
+            write_only=(
+                (
+                    "note",
+                    "human-facing provenance line in the committed "
+                    "baseline.json; the gate never parses it",
+                ),
+            ),
+            read_only=(
+                (
+                    "medians",
+                    "schema v1 compatibility: the pre-v2 median-only layout "
+                    "is still readable until the baseline is refreshed",
+                ),
+            ),
+        ),
+        SchemaSpec(
+            name="bench-report",
+            writers=("repro.benchstats.report.build_report_payload",),
+            persist=("repro.cli._cmd_benchreport",),
+            version_constant=(
+                "repro.benchstats.report.BENCH_REPORT_SCHEMA_VERSION"
+            ),
+            version=1,
+            fields=(
+                "benchmarks",
+                "ci_high",
+                "ci_low",
+                "confidence",
+                "count",
+                "generated_by",
+                "iqr",
+                "jitter_p95",
+                "jitter_p99",
+                "manifest",
+                "median_ratio",
+                "median_regressed",
+                "median_seconds",
+                "mode",
+                "p50",
+                "p95",
+                "p99",
+                "p99_ratio",
+                "samples",
+                "schema",
+                "suite_median_seconds",
+                "tail_regressed",
+            ),
+            external_reader=(
+                "the HTML report renders the in-memory payload in the same "
+                "process; the JSON artifact uploaded by CI is consumed by "
+                "humans and downstream dashboards, never parsed in-package"
+            ),
+        ),
+        SchemaSpec(
             name="lint-report",
             writers=(
                 "repro.analysis.runner.LintReport.to_json",

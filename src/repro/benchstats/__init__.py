@@ -1,0 +1,67 @@
+"""Distribution-aware benchmark statistics (the ``benchstats`` leaf).
+
+The statistics layer under the benchmark pipeline: percentile summaries
+and seeded bootstrap confidence intervals (:mod:`~repro.benchstats.stats`),
+the CI-overlap + tail regression gate (:mod:`~repro.benchstats.gate`),
+the versioned committed-baseline document (:mod:`~repro.benchstats.baseline`),
+and the zero-dependency HTML perf report (:mod:`~repro.benchstats.report`).
+
+A *leaf* package in the layer model: it imports nothing from the rest of
+the package, so both the standalone CI gate (``benchmarks/compare.py``)
+and the top-layer CLI (``repro benchreport``) can build on it without
+creating cycles.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BENCH_BASELINE_SCHEMA_VERSION,
+    BenchRecord,
+    BenchRun,
+    build_baseline_payload,
+    extract_run,
+    parse_baseline,
+    save_baseline,
+)
+from .gate import (
+    BenchComparison,
+    GateConfig,
+    evaluate_benchmark,
+)
+from .report import (
+    BENCH_REPORT_SCHEMA_VERSION,
+    build_report_payload,
+    render_html,
+)
+from .stats import (
+    DistributionSummary,
+    RatioCI,
+    bootstrap_median_ci,
+    bootstrap_median_ratio_ci,
+    median,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "BENCH_BASELINE_SCHEMA_VERSION",
+    "BENCH_REPORT_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchRecord",
+    "BenchRun",
+    "DistributionSummary",
+    "GateConfig",
+    "RatioCI",
+    "bootstrap_median_ci",
+    "bootstrap_median_ratio_ci",
+    "build_baseline_payload",
+    "build_report_payload",
+    "evaluate_benchmark",
+    "extract_run",
+    "median",
+    "parse_baseline",
+    "percentile",
+    "render_html",
+    "save_baseline",
+    "summarize",
+]

@@ -1,0 +1,240 @@
+"""The committed benchmark baseline: schema v2 with per-iteration samples.
+
+A v2 baseline document stores, per benchmark, the raw median in seconds
+*and* the suite-normalized per-iteration samples the CI-overlap gate
+resamples.  Suite normalization (divide by the run's suite median — the
+median of the per-benchmark medians) is what makes samples comparable
+across machines: each benchmark is measured as a share of its own suite.
+
+Schema history
+--------------
+* **v1** (implicit, no ``schema`` key): ``{"medians": {name: seconds}}``.
+  Still readable — :func:`parse_baseline` migrates it into a
+  :class:`BenchRun` whose records carry a single synthesized sample, so
+  the gate degrades to the legacy median threshold per benchmark.  The
+  documented migration is a one-time ``compare.py <run.json>
+  --update-baseline``, which rewrites the file as v2.
+* **v2**: ``{"schema": 2, "suite_median_seconds": s, "benchmarks":
+  {name: {"median_seconds": m, "samples": [...]}}}`` plus the optional
+  environment ``manifest`` and a human-facing ``note``.
+
+The payload shape is registered in
+:data:`repro.analysis.schemamodel.REPRO_SCHEMA_MODEL` (schema
+``bench-baseline``); growing it without bumping
+:data:`BENCH_BASELINE_SCHEMA_VERSION` is a SER003 finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from .stats import median
+
+__all__ = [
+    "BENCH_BASELINE_SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchRun",
+    "extract_run",
+    "parse_baseline",
+    "build_baseline_payload",
+    "save_baseline",
+]
+
+#: Version of the committed ``benchmarks/baseline.json`` document.  v1 was
+#: the median-only layout (no ``schema`` key); v2 adds suite-normalized
+#: per-iteration samples for the CI-overlap gate.
+BENCH_BASELINE_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark's measurements within one run.
+
+    ``samples`` are suite-normalized per-iteration times (dimensionless
+    shares of the suite median); ``median_seconds`` keeps the raw median
+    for ``--absolute`` comparisons and for humans.
+    """
+
+    name: str
+    median_seconds: float
+    samples: tuple
+
+    def normalized_median(self) -> float:
+        """Median of the suite-normalized samples."""
+        return median(self.samples)
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """A full benchmark run (or committed baseline) in normalized form."""
+
+    records: Mapping[str, BenchRecord]
+    suite_median_seconds: float
+    schema: int = BENCH_BASELINE_SCHEMA_VERSION
+    manifest: "dict | None" = None
+    notes: tuple = field(default=())
+
+    def names(self) -> list:
+        """Sorted benchmark names present in this run."""
+        return sorted(self.records)
+
+    def raw_medians(self) -> dict:
+        """Benchmark name -> raw median seconds."""
+        return {
+            name: record.median_seconds for name, record in self.records.items()
+        }
+
+    def normalized_medians(self) -> dict:
+        """Benchmark name -> suite-normalized median."""
+        return {
+            name: record.normalized_median()
+            for name, record in self.records.items()
+        }
+
+
+def _suite_median_seconds(medians: Mapping[str, float]) -> float:
+    """The suite median: median of the per-benchmark raw medians."""
+    if not medians:
+        return 0.0
+    return median(list(medians.values()))
+
+
+def extract_run(data: dict) -> BenchRun:
+    """Build a :class:`BenchRun` from a pytest-benchmark JSON export.
+
+    Uses each benchmark's raw per-iteration data when the export carries
+    it (``--benchmark-save-data``); otherwise falls back to the single
+    median, which the gate later treats as a degenerate (legacy-mode)
+    sample set.  All samples are normalized by the run's suite median.
+    """
+    raw_samples: dict = {}
+    medians: dict = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("fullname") or entry["name"]
+        stats = entry["stats"]
+        medians[name] = float(stats["median"])
+        data_points = stats.get("data")
+        if data_points:
+            raw_samples[name] = [float(value) for value in data_points]
+        else:
+            raw_samples[name] = [medians[name]]
+    suite_median = _suite_median_seconds(medians)
+    scale = suite_median if suite_median > 0.0 else 1.0
+    records = {
+        name: BenchRecord(
+            name=name,
+            median_seconds=medians[name],
+            samples=tuple(value / scale for value in raw_samples[name]),
+        )
+        for name in medians
+    }
+    manifest = data.get("manifest")
+    return BenchRun(
+        records=records,
+        suite_median_seconds=suite_median,
+        manifest=manifest if isinstance(manifest, dict) else None,
+    )
+
+
+def parse_baseline(data: dict) -> BenchRun:
+    """Parse a committed baseline document (schema v1 or v2).
+
+    v1 documents (median-only, no ``schema`` key) are migrated in memory:
+    each record gets one synthesized suite-normalized sample, putting the
+    gate into its legacy fallback until the baseline is refreshed with
+    ``--update-baseline``.  A document newer than
+    :data:`BENCH_BASELINE_SCHEMA_VERSION` is rejected rather than
+    misread.
+    """
+    schema = data.get("schema", 1)
+    if not isinstance(schema, int) or schema > BENCH_BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline schema {schema!r} is unsupported (this reader "
+            f"understands <= {BENCH_BASELINE_SCHEMA_VERSION})"
+        )
+    manifest = data.get("manifest")
+    manifest = manifest if isinstance(manifest, dict) else None
+    notes: tuple = ()
+    if schema < 2:
+        medians = {
+            name: float(value) for name, value in data["medians"].items()
+        }
+        suite_median = _suite_median_seconds(medians)
+        scale = suite_median if suite_median > 0.0 else 1.0
+        records = {
+            name: BenchRecord(
+                name=name,
+                median_seconds=value,
+                samples=(value / scale,),
+            )
+            for name, value in medians.items()
+        }
+        notes = (
+            "baseline is schema v1 (medians only); the CI-overlap gate "
+            "degrades to the legacy median threshold until it is "
+            "refreshed with --update-baseline",
+        )
+        return BenchRun(
+            records=records,
+            suite_median_seconds=suite_median,
+            schema=schema,
+            manifest=manifest,
+            notes=notes,
+        )
+    suite_median = float(data["suite_median_seconds"])
+    records = {}
+    for name, entry in data["benchmarks"].items():
+        samples = tuple(float(value) for value in entry.get("samples") or ())
+        median_seconds = float(entry["median_seconds"])
+        if not samples:
+            scale = suite_median if suite_median > 0.0 else 1.0
+            samples = (median_seconds / scale,)
+        records[name] = BenchRecord(
+            name=name, median_seconds=median_seconds, samples=samples
+        )
+    return BenchRun(
+        records=records,
+        suite_median_seconds=suite_median,
+        schema=schema,
+        manifest=manifest,
+        notes=notes,
+    )
+
+
+def build_baseline_payload(run: BenchRun, note: str | None = None) -> dict:
+    """Assemble the persisted v2 baseline document for ``run``.
+
+    This is the registered writer of the ``bench-baseline`` schema: every
+    key of the persisted payload is emitted here, at full float precision
+    (formatting belongs to render time).
+    """
+    payload: dict = {
+        "schema": BENCH_BASELINE_SCHEMA_VERSION,
+        "note": note
+        or (
+            "Committed benchmark baseline (schema v2: suite-normalized "
+            "per-iteration samples); regenerate with "
+            "`python benchmarks/compare.py <run.json> --update-baseline`."
+        ),
+        "suite_median_seconds": run.suite_median_seconds,
+        "benchmarks": {
+            name: {
+                "median_seconds": record.median_seconds,
+                "samples": list(record.samples),
+            }
+            for name, record in sorted(run.records.items())
+        },
+    }
+    if run.manifest is not None:
+        payload["manifest"] = run.manifest
+    return payload
+
+
+def save_baseline(payload: dict, path: Path) -> None:
+    """Persist a baseline document canonically (sorted keys, trailing \\n)."""
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

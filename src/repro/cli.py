@@ -43,6 +43,11 @@ Subcommands
     Time the scalar vs vectorized (columnar) playback engines on synthetic
     traces of growing size, verify bit-identical energy reports, and write
     the measurements to ``BENCH_columnar.json``.
+``benchreport RUN.json``
+    Render a pytest-benchmark JSON export (plus, optionally, the committed
+    baseline and ``repro.obs`` JSONL run logs) into a zero-dependency
+    static HTML perf report with inline SVG distribution strips, and
+    optionally a machine-readable JSON summary (``--json-out``).
 ``lint [PATHS]``
     Run the architecture & determinism linter over the package (or the given
     files/directories); exit 1 if there are findings.  ``--select`` narrows
@@ -604,6 +609,96 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _obs_report_section(path: Path) -> dict:
+    """Pre-parse one obs JSONL log into the report's plain-mapping shape.
+
+    ``repro.benchstats`` is a leaf that must not import ``repro.obs``, so
+    the CLI flattens the log into label/stages/energy mappings here.
+    """
+    from .obs import read_log
+
+    log = read_log(path)
+    return {
+        "label": str(path),
+        "stages": [
+            {
+                "name": record.name,
+                "depth": record.depth,
+                "elapsed_seconds": record.elapsed_seconds,
+                "status": record.status,
+            }
+            for record in log.spans()
+        ],
+        "energy": [tuple(row) for row in log.stage_energy_rows()],
+    }
+
+
+def _cmd_benchreport(args) -> int:
+    import json
+
+    from .benchstats import (
+        GateConfig,
+        build_report_payload,
+        evaluate_benchmark,
+        extract_run,
+        parse_baseline,
+        render_html,
+    )
+
+    try:
+        run = extract_run(json.loads(Path(args.run).read_text()))
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        raise SystemExit(f"error: cannot read benchmark run {args.run!r}: {error}")
+    baseline = None
+    comparisons = []
+    if args.baseline:
+        try:
+            baseline = parse_baseline(json.loads(Path(args.baseline).read_text()))
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise SystemExit(
+                f"error: cannot read baseline {args.baseline!r}: {error}"
+            )
+        config = GateConfig()
+        comparisons = [
+            evaluate_benchmark(
+                name,
+                baseline.records[name].samples,
+                run.records[name].samples,
+                config,
+            )
+            for name in sorted(baseline.records)
+            if name in run.records
+        ]
+    try:
+        obs_sections = [_obs_report_section(path) for path in args.obs or []]
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read obs log: {error}")
+    payload = build_report_payload(run, comparisons)
+    html_text = render_html(
+        payload, baseline=baseline, obs_sections=obs_sections, title=args.title
+    )
+    out_path = Path(args.out)
+    out_path.write_text(html_text, encoding="utf-8")
+    print(f"report written to {out_path}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"summary written to {args.json_out}")
+    regressed = [
+        name
+        for name, entry in payload["benchmarks"].items()
+        if entry.get("median_regressed") or entry.get("tail_regressed")
+    ]
+    if regressed:
+        print(
+            f"note: {len(regressed)} benchmark(s) regressed vs baseline "
+            "(the report shows which; the CI verdict belongs to "
+            "benchmarks/compare.py)"
+        )
+    return 0
+
+
 def _cmd_phases(args) -> int:
     trace = _load_trace(args.source)
     detector = PhaseDetector(
@@ -849,6 +944,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory receiving BENCH_columnar.json",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    benchreport = subparsers.add_parser(
+        "benchreport",
+        help="render a pytest-benchmark run as a static HTML perf report",
+    )
+    benchreport.add_argument(
+        "run", metavar="RUN.json", help="pytest-benchmark JSON export"
+    )
+    benchreport.add_argument(
+        "--baseline", metavar="BASELINE.json", default=None,
+        help="committed baseline to draw as the second series and gate against",
+    )
+    benchreport.add_argument(
+        "--obs", action="append", metavar="RUN.jsonl", default=None,
+        help="obs JSONL run log to append as a per-stage timing section "
+        "(repeatable)",
+    )
+    benchreport.add_argument(
+        "--out", metavar="REPORT.html", default="benchmark-report.html",
+        help="output HTML path (default benchmark-report.html)",
+    )
+    benchreport.add_argument(
+        "--json-out", metavar="SUMMARY.json", default=None,
+        help="also write the machine-readable report payload",
+    )
+    benchreport.add_argument(
+        "--title", default="Benchmark report", help="report heading"
+    )
+    benchreport.set_defaults(func=_cmd_benchreport)
 
     phases = subparsers.add_parser("phases", help="detect program phases in a trace")
     phases.add_argument("source")

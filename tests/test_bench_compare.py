@@ -19,12 +19,30 @@ _spec.loader.exec_module(compare_module)
 
 
 def write_run(
-    path: Path, medians: dict[str, float], manifest: dict | None = None
+    path: Path,
+    medians: dict[str, float],
+    manifest: dict | None = None,
+    samples: dict[str, list] | None = None,
 ) -> Path:
-    """Write a minimal pytest-benchmark JSON export (optionally with manifest)."""
+    """Write a minimal pytest-benchmark JSON export (optionally with manifest).
+
+    ``samples`` adds per-iteration raw data (the ``--benchmark-save-data``
+    layout) for the benchmarks it names; others stay median-only.
+    """
     payload: dict = {
         "benchmarks": [
-            {"fullname": name, "name": name, "stats": {"median": median}}
+            {
+                "fullname": name,
+                "name": name,
+                "stats": dict(
+                    {"median": median},
+                    **(
+                        {"data": samples[name]}
+                        if samples and name in samples
+                        else {}
+                    ),
+                ),
+            }
             for name, median in medians.items()
         ]
     }
@@ -44,8 +62,12 @@ def baseline_file(tmp_path):
 
 def test_update_baseline_stores_sorted_medians(baseline_file):
     data = json.loads(baseline_file.read_text())
-    assert list(data["medians"]) == ["suite::a", "suite::b", "suite::c"]
-    assert data["medians"]["suite::c"] == 4.0
+    assert data["schema"] == 2
+    assert list(data["benchmarks"]) == ["suite::a", "suite::b", "suite::c"]
+    assert data["benchmarks"]["suite::c"]["median_seconds"] == 4.0
+    # Samples are suite-normalized: suite median is 2.0 here.
+    assert data["suite_median_seconds"] == 2.0
+    assert data["benchmarks"]["suite::c"]["samples"] == [2.0]
 
 
 def test_identical_run_passes(tmp_path, baseline_file):
@@ -161,6 +183,148 @@ class TestSelect:
             "suite::play_1m": 1.0
         }
         assert compare_module.select_medians(medians, None) == medians
+
+
+#: Deterministic per-iteration jitter patterns (fractional deviations from
+#: the benchmark's true median).  Both stay within ±2%, so two runs drawn
+#: from them differ by measurement noise only.
+_JITTER_BASE = (-0.02, -0.01, -0.005, 0.0, 0.005, 0.01, 0.015, 0.02)
+_JITTER_NOISE = (-0.015, -0.02, 0.0, 0.005, -0.01, 0.02, 0.01, 0.015)
+
+_SUITE = {"s::a": 1.0, "s::b": 2.0, "s::c": 3.0, "s::d": 4.0, "s::e": 5.0}
+
+
+def _suite_samples(jitter, scale: dict | None = None, tail: str | None = None):
+    """Per-benchmark sample lists for the synthetic five-benchmark suite."""
+    scale = scale or {}
+    samples = {}
+    for name, base in _SUITE.items():
+        values = [base * (1.0 + j) * scale.get(name, 1.0) for j in jitter]
+        if name == tail:
+            # Inflate the slowest iteration only: p99 roughly doubles
+            # while the median stays flat.
+            values[values.index(max(values))] = base * 2.6
+        samples[name] = sorted(values)
+    return samples
+
+
+def _suite_run(path: Path, jitter, scale=None, tail=None) -> Path:
+    samples = _suite_samples(jitter, scale=scale, tail=tail)
+    medians = {
+        name: values[len(values) // 2] for name, values in samples.items()
+    }
+    return write_run(path, medians, samples=samples)
+
+
+class TestDistributionGate:
+    """The PR's pinned acceptance triple plus schema-migration behavior."""
+
+    @pytest.fixture
+    def v2_baseline(self, tmp_path):
+        run = _suite_run(tmp_path / "base_run.json", _JITTER_BASE)
+        baseline = tmp_path / "baseline.json"
+        compare_module.update_baseline(run, baseline)
+        assert json.loads(baseline.read_text())["schema"] == 2
+        return baseline
+
+    def test_noise_only_perturbation_passes(self, tmp_path, v2_baseline):
+        # ≤2% iteration noise on every benchmark: the ratio CIs straddle 1
+        # (and any stray exclusion is blocked by the 5% minimum effect).
+        run = _suite_run(tmp_path / "cand.json", _JITTER_NOISE)
+        assert compare_module.main([str(run), "--baseline", str(v2_baseline)]) == 0
+
+    def test_30pct_median_regression_fails(self, tmp_path, v2_baseline, capsys):
+        run = _suite_run(
+            tmp_path / "cand.json", _JITTER_NOISE, scale={"s::a": 1.3}
+        )
+        assert compare_module.main([str(run), "--baseline", str(v2_baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "s::a" in out
+        assert "ratio CI" in out
+
+    def test_tail_only_regression_fails(self, tmp_path, v2_baseline, capsys):
+        # p99 more than doubles while the median stays flat: invisible to
+        # any median gate, caught by the tail gate.
+        run = _suite_run(tmp_path / "cand.json", _JITTER_NOISE, tail="s::a")
+        assert compare_module.main([str(run), "--baseline", str(v2_baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "tail gate" in out
+
+    def test_tail_only_regression_passes_legacy_mode(self, tmp_path, v2_baseline):
+        # The same run exits 0 under --legacy-median: exactly the blind
+        # spot the tail gate exists for.
+        run = _suite_run(tmp_path / "cand.json", _JITTER_NOISE, tail="s::a")
+        args = [str(run), "--baseline", str(v2_baseline), "--legacy-median"]
+        assert compare_module.main(args) == 0
+
+    def test_gate_verdict_is_deterministic(self, tmp_path, v2_baseline, capsys):
+        run = _suite_run(
+            tmp_path / "cand.json", _JITTER_NOISE, scale={"s::a": 1.3}
+        )
+        args = [str(run), "--baseline", str(v2_baseline)]
+        assert compare_module.main(args) == 1
+        text_a = capsys.readouterr().out
+        assert compare_module.main(args) == 1
+        text_b = capsys.readouterr().out
+        # Seeded resampling: byte-identical verdicts, intervals included.
+        assert text_a == text_b
+
+    def test_v1_baseline_still_readable_and_degrades_to_legacy(
+        self, tmp_path, capsys
+    ):
+        v1 = tmp_path / "baseline.json"
+        v1.write_text(
+            json.dumps({"note": "old", "medians": {"s::a": 1.0, "s::b": 2.0}})
+        )
+        run = write_run(tmp_path / "cand.json", {"s::a": 1.0, "s::b": 2.0})
+        assert compare_module.main([str(run), "--baseline", str(v1)]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "--update-baseline" in out
+
+    def test_update_baseline_migrates_v1_to_v2(self, tmp_path):
+        v1 = tmp_path / "baseline.json"
+        v1.write_text(json.dumps({"medians": {"s::a": 1.0}}))
+        run = _suite_run(tmp_path / "run.json", _JITTER_BASE)
+        compare_module.update_baseline(run, v1)
+        data = json.loads(v1.read_text())
+        assert data["schema"] == 2
+        assert len(data["benchmarks"]["s::a"]["samples"]) == len(_JITTER_BASE)
+
+    def test_future_schema_is_rejected(self, tmp_path):
+        futuristic = tmp_path / "baseline.json"
+        futuristic.write_text(json.dumps({"schema": 99, "benchmarks": {}}))
+        run = write_run(tmp_path / "cand.json", {"s::a": 1.0})
+        with pytest.raises(ValueError, match="unsupported"):
+            compare_module.main([str(run), "--baseline", str(futuristic)])
+
+    def test_dry_run_refresh_leaves_baseline_untouched(
+        self, tmp_path, v2_baseline, capsys
+    ):
+        before = v2_baseline.read_text()
+        run = _suite_run(
+            tmp_path / "cand.json", _JITTER_NOISE, scale={"s::a": 1.3}
+        )
+        out_file = tmp_path / "would-be-baseline.json"
+        assert (
+            compare_module.main(
+                [
+                    str(run),
+                    "--baseline",
+                    str(v2_baseline),
+                    "--update-baseline",
+                    "--dry-run",
+                    "--dry-run-out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert v2_baseline.read_text() == before
+        assert json.loads(out_file.read_text())["schema"] == 2
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "s::a" in out  # the per-benchmark diff names the mover
 
 
 def manifest_payload(**overrides) -> dict:

@@ -255,3 +255,100 @@ class TestSweep:
             == 2
         )
         assert "expected key=value" in capsys.readouterr().err
+
+
+class TestBenchreport:
+    @staticmethod
+    def _write_run(path, scale=1.0):
+        import json
+
+        jitter = (-0.02, -0.01, 0.0, 0.005, 0.01, 0.015, 0.02, -0.005)
+        benchmarks = []
+        for index, name in enumerate(["s::a", "s::b", "s::c"]):
+            base = 0.01 * (index + 1) * (scale if name == "s::a" else 1.0)
+            data = sorted(base * (1.0 + j) for j in jitter)
+            benchmarks.append(
+                {
+                    "fullname": name,
+                    "name": name,
+                    "stats": {"median": data[len(data) // 2], "data": data},
+                }
+            )
+        path.write_text(json.dumps({"benchmarks": benchmarks}))
+        return path
+
+    def test_benchreport_writes_standalone_html(self, tmp_path, capsys):
+        run = self._write_run(tmp_path / "run.json")
+        out = tmp_path / "report.html"
+        assert main(["benchreport", str(run), "--out", str(out)]) == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html  # inline distribution strips
+        assert "prefers-color-scheme" in html  # selected dark mode
+        assert "s::a" in html and "s::c" in html
+        assert "report written to" in capsys.readouterr().out
+
+    def test_benchreport_with_baseline_gates_and_draws_two_series(
+        self, tmp_path, capsys
+    ):
+        import importlib.util
+        import json
+        from pathlib import Path
+
+        compare_path = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_compare_cli", compare_path)
+        compare_module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(compare_module)
+
+        baseline = tmp_path / "baseline.json"
+        compare_module.update_baseline(
+            self._write_run(tmp_path / "base_run.json"), baseline
+        )
+        run = self._write_run(tmp_path / "run.json", scale=1.5)
+        out = tmp_path / "report.html"
+        summary = tmp_path / "summary.json"
+        assert (
+            main(
+                [
+                    "benchreport",
+                    str(run),
+                    "--baseline",
+                    str(baseline),
+                    "--out",
+                    str(out),
+                    "--json-out",
+                    str(summary),
+                ]
+            )
+            == 0
+        )
+        html = out.read_text()
+        assert "baseline" in html and "candidate" in html
+        assert "regressed" in html  # s::a is 50% slower: badge + note
+        payload = json.loads(summary.read_text())
+        assert payload["schema"] == 1
+        assert payload["benchmarks"]["s::a"]["median_regressed"] is True
+        assert payload["benchmarks"]["s::b"]["median_regressed"] is False
+        assert "regressed vs baseline" in capsys.readouterr().out
+
+    def test_benchreport_embeds_obs_stage_timings(self, tmp_path, capsys):
+        run = self._write_run(tmp_path / "run.json")
+        log = tmp_path / "run.jsonl"
+        assert main(["optimize", "dot_product", "--obs-out", str(log)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "report.html"
+        assert (
+            main(["benchreport", str(run), "--obs", str(log), "--out", str(out)])
+            == 0
+        )
+        html = out.read_text()
+        assert "Per-stage timings" in html
+        assert "trace_load" in html
+
+    def test_benchreport_unreadable_run_exits(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot read benchmark run"):
+            main(["benchreport", str(bad)])
