@@ -118,12 +118,16 @@ WORKER_ENTRY_POINTS: tuple[WorkerEntryPoint, ...] = (
 PICKLE_BOUNDARY_TYPES: tuple[str, ...] = (
     "repro.batch.spec.SweepTask",
     "repro.batch.spec.TraceSpec",
+    "repro.batch.runner.ShardConfig",
 )
 
 #: Modules sanctioned to write the filesystem from the worker path — the
 #: content-addressed result cache is *designed* for concurrent writers
-#: (atomic tmp-file + rename).  Everything else a worker writes is suspect.
-SANCTIONED_FS_MODULES = frozenset({"repro.batch.cache"})
+#: (atomic tmp-file + rename), and the worker-shard recorder follows an
+#: equivalent discipline (each worker owns one shard file, published as
+#: prefix-complete whole-line appends).  Everything else a worker writes
+#: is suspect.
+SANCTIONED_FS_MODULES = frozenset({"repro.batch.cache", "repro.obs.shard"})
 
 #: The module that declares the counter vocabulary (PAR005 cross-checks it).
 OBS_COUNTERS_MODULE = "repro.obs.counters"

@@ -215,6 +215,135 @@ REPRO_SCHEMA_MODEL = SchemaModel(
             label_keys=("component", "path", "stage"),
         ),
         SchemaSpec(
+            name="obs-worker-shard",
+            writers=(
+                "repro.obs.shard.ShardRecorder.__init__",
+                "repro.obs.shard.ShardRecorder._emit",
+                "repro.obs.shard.ShardRecorder.begin_task",
+                "repro.obs.shard.ShardRecorder.end_task",
+                "repro.obs.shard.ShardRecorder.task_event",
+            ),
+            readers=(
+                "repro.obs.replay.read_log",
+                "repro.obs.merge._parse_shard",
+                "repro.obs.merge.load_shards",
+                "repro.obs.merge.MergedSweep.metrics",
+            ),
+            persist=("repro.obs.shard.ShardRecorder.flush",),
+            version_constant="repro.obs.shard.WORKER_SHARD_SCHEMA_VERSION",
+            version=1,
+            fields=(
+                "attrs",
+                "event",
+                "kind",
+                "origin_seconds",
+                "role",
+                "shard_schema",
+                "status",
+                "sweep",
+                "t_wall_seconds",
+                "task",
+                "v",
+                "worker",
+            ),
+            read_only=(
+                (
+                    "data",
+                    "manifest-event payload key in the shared obs-JSONL line "
+                    "parser (read_log); shard recorders never emit manifests",
+                ),
+            ),
+            label_keys=(
+                "attempt",
+                "elapsed_seconds",
+                "flow",
+                "label",
+                "wave",
+            ),
+        ),
+        SchemaSpec(
+            name="obs-report",
+            writers=("repro.obs.replay.ObsLog.to_report",),
+            persist=("repro.cli._cmd_obs",),
+            version_constant="repro.obs.replay.OBS_REPORT_SCHEMA_VERSION",
+            version=1,
+            fields=(
+                "attrs",
+                "calls",
+                "component",
+                "component_sum_pj",
+                "counter",
+                "counters",
+                "depth",
+                "elapsed_seconds",
+                "energy_pj",
+                "engine_routing",
+                "exact",
+                "generated_by",
+                "manifest",
+                "name",
+                "path",
+                "reconciled",
+                "reconciliation",
+                "reported_total_pj",
+                "schema",
+                "spans",
+                "stage",
+                "stage_energy",
+                "status",
+                "value",
+            ),
+            external_reader=(
+                "CI asserts on the JSON document's reconciliation fields; "
+                "in-package consumers hold the ObsLog object"
+            ),
+        ),
+        SchemaSpec(
+            name="sweep-timeline",
+            writers=("repro.obs.timeline.build_timeline_payload",),
+            persist=("repro.cli._cmd_timeline",),
+            version_constant="repro.obs.timeline.TIMELINE_SCHEMA_VERSION",
+            version=1,
+            fields=(
+                "busy_seconds",
+                "cache",
+                "cached",
+                "component_sum_pj",
+                "elapsed_seconds",
+                "exact",
+                "flow",
+                "generated_by",
+                "incomplete_blocks",
+                "label",
+                "metrics",
+                "queue_seconds",
+                "reconciled",
+                "reconciliation",
+                "reported_total_pj",
+                "retry_waves",
+                "schema",
+                "source",
+                "span_seconds",
+                "spans",
+                "stage",
+                "start_seconds",
+                "status",
+                "superseded_blocks",
+                "sweep",
+                "task",
+                "tasks",
+                "timeline",
+                "utilization",
+                "worker",
+                "workers",
+            ),
+            external_reader=(
+                "the HTML Gantt renders the in-memory payload in the same "
+                "process; the --json-out artifact is consumed by humans and "
+                "CI artifact review, never parsed in-package"
+            ),
+        ),
+        SchemaSpec(
             name="run-manifest",
             writers=("repro.obs.manifest.RunManifest.to_dict",),
             readers=("repro.obs.manifest.RunManifest.from_dict",),

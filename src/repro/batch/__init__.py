@@ -16,9 +16,16 @@ config C" into a first-class, cacheable unit of work:
 The CLI front-end is ``repro sweep``.
 """
 
-from .cache import CacheEntry, ResultCache, cache_key
+from .cache import CacheEntry, ResultCache, cache_key, shard_path, sweep_obs_dir
 from .flows import FLOW_NAMES, flow_names, run_flow, trace_to_application
-from .runner import SweepReport, TaskOutcome, run_sweep
+from .runner import (
+    ShardConfig,
+    SweepEvent,
+    SweepReport,
+    TaskOutcome,
+    run_sweep,
+    sweep_fingerprint,
+)
 from .spec import SweepTask, TraceSpec, assign_shards, parse_scalar, shard_of
 
 __all__ = [
@@ -37,4 +44,9 @@ __all__ = [
     "run_sweep",
     "SweepReport",
     "TaskOutcome",
+    "ShardConfig",
+    "SweepEvent",
+    "sweep_fingerprint",
+    "sweep_obs_dir",
+    "shard_path",
 ]

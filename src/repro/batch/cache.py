@@ -30,6 +30,8 @@ __all__ = [
     "cache_key",
     "CacheEntry",
     "ResultCache",
+    "sweep_obs_dir",
+    "shard_path",
 ]
 
 #: Schema tag embedded in every record; entries from other schema versions
@@ -68,6 +70,21 @@ class CacheEntry:
             "trace_digest": self.trace_digest,
             "result": self.result,
         }
+
+
+def sweep_obs_dir(root: str | Path, sweep_id: str) -> Path:
+    """Observability-shard directory for one sweep.
+
+    Content-addressed with the same two-level prefix fan-out as
+    :meth:`ResultCache.path_for`, so rerunning an identical sweep lands in
+    (and atomically overwrites within) the same directory.
+    """
+    return Path(root) / sweep_id[:2] / sweep_id
+
+
+def shard_path(root: str | Path, sweep_id: str, worker_id: str) -> Path:
+    """On-disk location of one worker's shard within a sweep's obs dir."""
+    return sweep_obs_dir(root, sweep_id) / f"{worker_id}.jsonl"
 
 
 class ResultCache:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -44,17 +45,71 @@ from ..obs.counters import (
     BATCH_RETRIES,
     BATCH_TASKS,
 )
+from ..obs.manifest import config_fingerprint
+from ..obs.recorder import NullRecorder
+from ..obs.shard import WORKER_SHARD_SCHEMA_VERSION, ShardRecorder
 from ..obs.spans import span
 from ..trace.io import trace_digest
-from .cache import CacheEntry, ResultCache, cache_key
+from .cache import CacheEntry, ResultCache, cache_key, shard_path
 from .flows import run_flow
 from .spec import SweepTask, shard_of
 
 __all__ = [
+    "ShardConfig",
+    "SweepEvent",
     "TaskOutcome",
     "SweepReport",
     "run_sweep",
+    "sweep_fingerprint",
 ]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Where and how a worker records its observability shard.
+
+    Crosses the parent→worker pickle boundary with every task, so it holds
+    only primitives plus a clock *class* (classes pickle by reference):
+    each worker instantiates its own clocks from ``clock_factory``, never
+    shares a clock object with the parent.
+    """
+
+    root: str
+    sweep_id: str
+    clock_factory: type = WallClock
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One parent-side progress event, emitted as the sweep advances.
+
+    ``kind`` is ``"cache_hit"``, ``"task_done"``, ``"task_failed"``, or
+    ``"retry_wave"``; the counts are cumulative snapshots, so any single
+    event suffices to render a progress line.  This callback surface is
+    the seam a future ``repro serve`` subscriber stream plugs into.
+    """
+
+    kind: str
+    done: int
+    failed: int
+    cached: int
+    total: int
+    elapsed_seconds: float
+    label: str | None = None
+
+
+def sweep_fingerprint(tasks) -> str:
+    """Deterministic sweep identity: fingerprint of the ordered task specs.
+
+    Pure function of the task list (order included), so rerunning the same
+    sweep writes shards into the same content-addressed directory.
+    """
+    return config_fingerprint(
+        {
+            "shard_schema": WORKER_SHARD_SCHEMA_VERSION,
+            "tasks": [task.spec_fingerprint() for task in tasks],
+        }
+    )
 
 
 @dataclass(frozen=True)
@@ -93,6 +148,8 @@ class SweepReport:
     retries: int
     jobs: int
     elapsed_seconds: float
+    #: Deterministic sweep identity (empty when shards were not recorded).
+    sweep_id: str = ""
 
     @property
     def results(self) -> list:
@@ -119,15 +176,66 @@ def _canonical(result: dict) -> dict:
     return json.loads(json.dumps(result, sort_keys=True))
 
 
-def _execute_task(task: SweepTask) -> str:
+#: Per-process shard-recorder memo: (pid, root, sweep id) → ShardRecorder.
+#: One worker process must append every task it executes to one shard file,
+#: so the recorder has to outlive individual ``_execute_task`` calls.  The
+#: pid in the key defuses fork inheritance — a child never reuses (and
+#: never double-writes through) an entry created by its parent.
+_RECORDERS: dict = {}
+
+
+def _worker_shard_recorder(shard: ShardConfig) -> ShardRecorder:
+    """This process's shard recorder for ``shard`` (created on first use).
+
+    Idempotent per (pid, root, sweep id): repeated calls in one worker
+    return the same recorder, so its shard file accumulates one task block
+    per executed task.  The memo is observable only as the shard file each
+    worker was going to own anyway — no result state crosses tasks.
+    """
+    key = (os.getpid(), shard.root, shard.sweep_id)
+    recorder = _RECORDERS.get(key)
+    if recorder is None:
+        worker_id = f"w{os.getpid()}"
+        recorder = ShardRecorder(
+            shard_path(shard.root, shard.sweep_id, worker_id),
+            sweep_id=shard.sweep_id,
+            worker_id=worker_id,
+            role="worker",
+            clock_factory=shard.clock_factory,
+        )
+        _RECORDERS[key] = recorder  # repro: lint-ignore[PAR001]
+    return recorder
+
+
+def _execute_task(task: SweepTask, shard: ShardConfig | None = None) -> str:
     """Worker entry point: run one task and return its result as canonical JSON.
 
     Runs in a worker process, so it rebuilds the trace from the task's
     spec and returns *text* — the parent parses it, which keeps the
     pickled payload small and the normalization single-sourced.
+
+    With a :class:`ShardConfig`, the task runs instrumented: its spans and
+    counters land in this worker's shard as a self-contained task block
+    (fresh clock, restarted span ids — see
+    :meth:`repro.obs.shard.ShardRecorder.begin_task`), framed so the
+    merger can reassemble the sweep regardless of which worker ran what.
     """
-    trace = task.trace.load()
-    result = run_flow(task.flow, trace, task.config_dict, recorder=None)
+    if shard is None:
+        trace = task.trace.load()
+        result = run_flow(task.flow, trace, task.config_dict, recorder=None)
+        return json.dumps(result, sort_keys=True)
+    recorder = _worker_shard_recorder(shard)
+    recorder.begin_task(
+        task.spec_fingerprint(), label=task.label(), flow=task.flow
+    )
+    try:
+        with span(recorder, "sweep.task", label=task.label(), flow=task.flow):
+            trace = task.trace.load()
+            result = run_flow(task.flow, trace, task.config_dict, recorder=recorder)
+    except BaseException as error:
+        recorder.end_task(status="error", error=type(error).__name__)
+        raise
+    recorder.end_task()
     return json.dumps(result, sort_keys=True)
 
 
@@ -153,6 +261,9 @@ def run_sweep(
     backoff_seconds: float = 0.05,
     max_backoff_seconds: float = 1.0,
     clock: Clock | None = None,
+    shard_dir=None,
+    shard_clock: type | None = None,
+    on_event=None,
 ) -> SweepReport:
     """Run every task, via cache / serial inline / process fan-out, and merge.
 
@@ -177,6 +288,22 @@ def run_sweep(
     clock:
         Time source for elapsed fields (injectable for tests); defaults
         to the sanctioned :class:`~repro.obs.clock.WallClock`.
+    shard_dir:
+        Observability shard root.  When set, every worker records its
+        tasks' spans and counters into a per-worker JSONL shard under
+        ``shard_dir/<sweep_id[:2]>/<sweep_id>/``, and the parent records a
+        ``parent`` shard of task lifecycle events (submitted / cache_hit /
+        merged / failed / retry) — the inputs :mod:`repro.obs.merge`
+        reassembles into one canonical timeline.  ``None`` (the default)
+        records nothing and leaves the sweep byte-identical to before.
+    shard_clock:
+        Clock *class* used for shard timing (default
+        :class:`~repro.obs.clock.WallClock`); inject
+        :class:`~repro.obs.clock.TickClock` for deterministic shards.
+    on_event:
+        Optional callable receiving a :class:`SweepEvent` per completion
+        (cache hit, task done, task failed, retry wave) — the feed for
+        ``repro sweep --progress`` and future subscriber streams.
     """
     tasks = list(tasks)
     if jobs <= 0:
@@ -186,10 +313,45 @@ def run_sweep(
     clock = clock or WallClock()
     sweep_started = clock.now_seconds()
 
+    shard_config: ShardConfig | None = None
+    parent_shard: ShardRecorder | None = None
+    sweep_id = ""
+    if shard_dir is not None:
+        sweep_id = sweep_fingerprint(tasks)
+        factory = shard_clock if shard_clock is not None else WallClock
+        shard_config = ShardConfig(
+            root=str(shard_dir), sweep_id=sweep_id, clock_factory=factory
+        )
+        parent_shard = ShardRecorder(
+            shard_path(shard_dir, sweep_id, "parent"),
+            sweep_id=sweep_id,
+            worker_id="parent",
+            role="parent",
+            clock_factory=factory,
+        )
+
     outcomes: list = [None] * len(tasks)
     hits = misses = retry_count = 0
+    done_count = fail_count = 0
 
-    with span(recorder, "sweep", tasks=len(tasks), jobs=jobs):
+    def _notify(kind: str, label: str | None = None) -> None:
+        if on_event is not None:
+            on_event(
+                SweepEvent(
+                    kind=kind,
+                    done=done_count,
+                    failed=fail_count,
+                    cached=hits,
+                    total=len(tasks),
+                    elapsed_seconds=clock.now_seconds() - sweep_started,
+                    label=label,
+                )
+            )
+
+    # The parent shard is flushed even when the sweep raises (exhausted
+    # retries), so a failed run still leaves its lifecycle evidence.
+    closer = parent_shard if parent_shard is not None else NullRecorder()
+    with closer, span(recorder, "sweep", tasks=len(tasks), jobs=jobs):
         # Resolve every task's cache key up front: load each distinct trace
         # spec once (memoized), digest it, and satisfy what we can from cache.
         digests: dict = {}
@@ -215,6 +377,11 @@ def run_sweep(
                     attempts=0,
                     elapsed_seconds=0.0,
                 )
+                if parent_shard is not None:
+                    parent_shard.task_event(
+                        "cache_hit", task.spec_fingerprint(), label=task.label()
+                    )
+                _notify("cache_hit", task.label())
             else:
                 misses += 1
                 if recorder is not None:
@@ -222,6 +389,7 @@ def run_sweep(
                 pending.append(_Pending(index=index, task=task, key=key, shard=shard))
 
         def merge(item: _Pending, payload: str) -> None:
+            nonlocal done_count
             result = _canonical(json.loads(payload))
             if cache is not None:
                 cache.store(
@@ -233,6 +401,7 @@ def run_sweep(
                         result=result,
                     )
                 )
+            elapsed_task_seconds = clock.now_seconds() - item.started_seconds
             outcomes[item.index] = TaskOutcome(
                 task=item.task,
                 result=result,
@@ -240,8 +409,18 @@ def run_sweep(
                 shard=item.shard,
                 cached=False,
                 attempts=item.attempts,
-                elapsed_seconds=clock.now_seconds() - item.started_seconds,
+                elapsed_seconds=elapsed_task_seconds,
             )
+            done_count += 1
+            if parent_shard is not None:
+                parent_shard.task_event(
+                    "merged",
+                    item.task.spec_fingerprint(),
+                    label=item.task.label(),
+                    attempt=item.attempts,
+                    elapsed_seconds=elapsed_task_seconds,
+                )
+            _notify("task_done", item.task.label())
 
         if jobs == 1:
             for item in pending:
@@ -249,6 +428,13 @@ def run_sweep(
                 while item.attempts <= retries:
                     item.attempts += 1
                     item.started_seconds = clock.now_seconds()
+                    if parent_shard is not None:
+                        parent_shard.task_event(
+                            "submitted",
+                            item.task.spec_fingerprint(),
+                            label=item.task.label(),
+                            attempt=item.attempts,
+                        )
                     try:
                         with span(
                             recorder,
@@ -257,17 +443,35 @@ def run_sweep(
                             shard=item.shard,
                             attempt=item.attempts,
                         ):
-                            merge(item, _execute_task(item.task))
+                            merge(item, _execute_task(item.task, shard_config))
                         last_error = None
                         break
                     except Exception as error:  # noqa: BLE001 - retried below
                         last_error = error
+                        fail_count += 1
+                        if parent_shard is not None:
+                            parent_shard.task_event(
+                                "failed",
+                                item.task.spec_fingerprint(),
+                                label=item.task.label(),
+                                attempt=item.attempts,
+                                error=type(error).__name__,
+                            )
+                        _notify("task_failed", item.task.label())
                         if item.attempts <= retries:
                             retry_count += 1
                             if recorder is not None:
                                 recorder.counter(
                                     BATCH_RETRIES, 1, flow=item.task.flow
                                 )
+                            if parent_shard is not None:
+                                parent_shard.task_event(
+                                    "retry",
+                                    item.task.spec_fingerprint(),
+                                    label=item.task.label(),
+                                    attempt=item.attempts,
+                                )
+                            _notify("retry_wave", item.task.label())
                             _sleep_backoff(
                                 item.attempts, backoff_seconds, max_backoff_seconds
                             )
@@ -288,7 +492,16 @@ def run_sweep(
                     for item in wave:
                         item.attempts += 1
                         item.started_seconds = clock.now_seconds()
-                        futures[pool.submit(_execute_task, item.task)] = item
+                        if parent_shard is not None:
+                            parent_shard.task_event(
+                                "submitted",
+                                item.task.spec_fingerprint(),
+                                label=item.task.label(),
+                                attempt=item.attempts,
+                            )
+                        futures[
+                            pool.submit(_execute_task, item.task, shard_config)
+                        ] = item
                     remaining = set(futures)
                     broken = False
                     while remaining and not broken:
@@ -320,6 +533,16 @@ def run_sweep(
                             except Exception as error:  # noqa: BLE001
                                 item.failures.append(error)
                                 failed.append(item)
+                                fail_count += 1
+                                if parent_shard is not None:
+                                    parent_shard.task_event(
+                                        "failed",
+                                        item.task.spec_fingerprint(),
+                                        label=item.task.label(),
+                                        attempt=item.attempts,
+                                        error=type(error).__name__,
+                                    )
+                                _notify("task_failed", item.task.label())
                             else:
                                 with span(
                                     recorder,
@@ -345,6 +568,16 @@ def run_sweep(
                     for item in failed:
                         recorder.counter(BATCH_RETRIES, 1, flow=item.task.flow)
                 wave_number += 1
+                if parent_shard is not None:
+                    for item in failed:
+                        parent_shard.task_event(
+                            "retry",
+                            item.task.spec_fingerprint(),
+                            label=item.task.label(),
+                            attempt=item.attempts,
+                            wave=wave_number,
+                        )
+                _notify("retry_wave")
                 _sleep_backoff(wave_number, backoff_seconds, max_backoff_seconds)
                 wave = failed
 
@@ -355,6 +588,7 @@ def run_sweep(
         retries=retry_count,
         jobs=jobs,
         elapsed_seconds=clock.now_seconds() - sweep_started,
+        sweep_id=sweep_id,
     )
 
 

@@ -42,6 +42,8 @@ from .stats import (
     percentile,
     summarize,
 )
+from .svg import BASE_STYLE, fmt, scale
+from .timeline import render_timeline_html
 
 __all__ = [
     "BENCH_BASELINE_SCHEMA_VERSION",
@@ -62,6 +64,10 @@ __all__ = [
     "parse_baseline",
     "percentile",
     "render_html",
+    "render_timeline_html",
     "save_baseline",
     "summarize",
+    "BASE_STYLE",
+    "fmt",
+    "scale",
 ]

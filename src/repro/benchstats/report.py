@@ -20,6 +20,7 @@ from typing import Iterable, Mapping, Sequence
 from .baseline import BenchRun
 from .gate import BenchComparison
 from .stats import summarize
+from .svg import BASE_STYLE, fmt, scale
 
 __all__ = [
     "BENCH_REPORT_SCHEMA_VERSION",
@@ -82,66 +83,8 @@ def build_report_payload(
 
 
 # -- rendering --------------------------------------------------------------------
-
-_STYLE = """
-:root { color-scheme: light dark; }
-body {
-  margin: 2rem auto; max-width: 60rem; padding: 0 1rem;
-  font: 14px/1.5 system-ui, sans-serif;
-  color: var(--text-primary); background: var(--surface-1);
-}
-body {
-  --surface-1: #fcfcfb; --surface-2: #f0efec;
-  --text-primary: #0b0b0b; --text-secondary: #52514e;
-  --grid: #d9d8d3;
-  --series-base: #2a78d6; --series-cand: #eb6834;
-  --status-good: #008300; --status-bad: #c93b3a;
-}
-@media (prefers-color-scheme: dark) {
-  body {
-    --surface-1: #1a1a19; --surface-2: #262625;
-    --text-primary: #ffffff; --text-secondary: #c3c2b7;
-    --grid: #3a3a38;
-    --series-base: #3987e5; --series-cand: #d95926;
-    --status-good: #41b445; --status-bad: #e66767;
-  }
-}
-h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
-h3 { font-size: 0.95rem; margin: 1.2rem 0 0.3rem; font-weight: 600; }
-p.meta { color: var(--text-secondary); }
-table { border-collapse: collapse; width: 100%; margin: 0.5rem 0 1rem; }
-th, td { text-align: left; padding: 0.25rem 0.6rem; white-space: nowrap; }
-th { color: var(--text-secondary); font-weight: 600;
-     border-bottom: 1px solid var(--grid); }
-td { border-bottom: 1px solid var(--surface-2); }
-td.num, th.num { text-align: right;
-                 font-variant-numeric: tabular-nums; }
-.badge { font-weight: 600; }
-.badge.pass { color: var(--status-good); }
-.badge.fail { color: var(--status-bad); }
-.legend { display: flex; gap: 1.2rem; align-items: center;
-          color: var(--text-secondary); margin: 0.6rem 0; }
-.legend .swatch { display: inline-block; width: 0.7rem; height: 0.7rem;
-                  border-radius: 2px; margin-right: 0.35rem;
-                  vertical-align: -0.05rem; }
-.strip { margin: 0.2rem 0 0.9rem; }
-svg text { fill: var(--text-secondary); font: 11px system-ui, sans-serif; }
-.bar-track { background: var(--surface-2); height: 8px; border-radius: 4px; }
-.bar-fill { background: var(--series-base); height: 8px; border-radius: 4px; }
-"""
-
-
-def _fmt(value: float) -> str:
-    """Compact numeric formatting for table cells."""
-    return f"{value:.4g}"
-
-
-def _scale(lo: float, hi: float, width: float):
-    """Closure mapping a value in ``[lo, hi]`` onto ``[0, width]`` pixels."""
-    span = hi - lo
-    if span <= 0.0:
-        return lambda value: width / 2.0
-    return lambda value: (value - lo) / span * width
+# The stylesheet and the fmt/scale helpers live in .svg, shared with the
+# sweep-timeline renderer.
 
 
 def _series_strip(
@@ -161,7 +104,7 @@ def _series_strip(
         parts.append(
             f'<rect x="{x - 1:.1f}" y="{y_center - 7:.0f}" width="2" '
             f'height="14" fill="var({color_var})" opacity="0.4">'
-            f"<title>{html.escape(label)} sample: {_fmt(value)}</title></rect>"
+            f"<title>{html.escape(label)} sample: {fmt(value)}</title></rect>"
         )
     for tag, value, dash in (
         ("p95", summary.p95, ""),
@@ -172,13 +115,13 @@ def _series_strip(
             f'<line x1="{x:.1f}" y1="{y_center - 10:.0f}" x2="{x:.1f}" '
             f'y2="{y_center + 10:.0f}" stroke="var({color_var})" '
             f'stroke-width="2"{dash}>'
-            f"<title>{html.escape(label)} {tag}: {_fmt(value)}</title></line>"
+            f"<title>{html.escape(label)} {tag}: {fmt(value)}</title></line>"
         )
     x = 90 + x_of(summary.p50)
     parts.append(
         f'<circle cx="{x:.1f}" cy="{y_center:.0f}" r="4.5" '
         f'fill="var({color_var})" stroke="var(--surface-1)" stroke-width="2">'
-        f"<title>{html.escape(label)} p50: {_fmt(summary.p50)}</title></circle>"
+        f"<title>{html.escape(label)} p50: {fmt(summary.p50)}</title></circle>"
     )
     return parts
 
@@ -194,7 +137,7 @@ def _benchmark_strip(
     pad = (hi - lo) * 0.04 or abs(hi) * 0.04 or 0.5
     lo, hi = lo - pad, hi + pad
     width = 540.0
-    x_of = _scale(lo, hi, width)
+    x_of = scale(lo, hi, width)
     rows: list = []
     height = 64 if baseline_samples else 42
     if baseline_samples:
@@ -208,10 +151,10 @@ def _benchmark_strip(
         f'<line x1="90" y1="{axis_y - 6}" x2="{90 + width:.0f}" '
         f'y2="{axis_y - 6}" stroke="var(--grid)" stroke-width="1"/>'
     )
-    rows.append(f'<text x="90" y="{axis_y + 6}">{_fmt(lo)}</text>')
+    rows.append(f'<text x="90" y="{axis_y + 6}">{fmt(lo)}</text>')
     rows.append(
         f'<text x="{90 + width:.0f}" y="{axis_y + 6}" '
-        f'text-anchor="end">{_fmt(hi)}</text>'
+        f'text-anchor="end">{fmt(hi)}</text>'
     )
     return (
         f'<div class="strip" role="img" aria-label="latency distribution of '
@@ -252,11 +195,11 @@ def _benchmark_table(payload: Mapping) -> str:
         rows.append(
             f"<tr><td>{html.escape(name)}</td>"
             f"<td class=num>{entry['count']}</td>"
-            f"<td class=num>{_fmt(entry['p50'])}</td>"
-            f"<td class=num>{_fmt(entry['p95'])}</td>"
-            f"<td class=num>{_fmt(entry['p99'])}</td>"
-            f"<td class=num>{_fmt(entry['iqr'])}</td>"
-            f"<td class=num>{_fmt(entry['jitter_p99'])}</td>"
+            f"<td class=num>{fmt(entry['p50'])}</td>"
+            f"<td class=num>{fmt(entry['p95'])}</td>"
+            f"<td class=num>{fmt(entry['p99'])}</td>"
+            f"<td class=num>{fmt(entry['iqr'])}</td>"
+            f"<td class=num>{fmt(entry['jitter_p99'])}</td>"
             f"<td class=num>{ratio}</td><td class=num>{ci}</td>"
             f"<td>{_verdict_badge(entry)}</td></tr>"
         )
@@ -331,7 +274,7 @@ def render_html(
     parts = [
         "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">",
         f"<title>{html.escape(title)}</title>",
-        f"<style>{_STYLE}</style></head><body>",
+        f"<style>{BASE_STYLE}</style></head><body>",
         f"<h1>{html.escape(title)}</h1>",
         f'<p class="meta">{summary_line}. Times are suite-normalized '
         "(shares of the run's suite median); the gate compares bootstrap "

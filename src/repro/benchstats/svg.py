@@ -1,0 +1,74 @@
+"""Shared substrate for zero-dependency HTML/SVG reports.
+
+The light/dark stylesheet, numeric formatting, and pixel-scale helpers
+used by both the benchmark report (:mod:`repro.benchstats.report`) and
+the sweep timeline (:mod:`repro.benchstats.timeline`).  Everything here
+is presentation-only: no repro imports, no data semantics.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BASE_STYLE", "fmt", "scale"]
+
+#: The validated light/dark CSS substrate: CSS custom properties for
+#: surfaces, text, grid lines, the two series colors, and status colors,
+#: flipped together by ``prefers-color-scheme``.
+BASE_STYLE = """
+:root { color-scheme: light dark; }
+body {
+  margin: 2rem auto; max-width: 60rem; padding: 0 1rem;
+  font: 14px/1.5 system-ui, sans-serif;
+  color: var(--text-primary); background: var(--surface-1);
+}
+body {
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --grid: #d9d8d3;
+  --series-base: #2a78d6; --series-cand: #eb6834;
+  --status-good: #008300; --status-bad: #c93b3a;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    --surface-1: #1a1a19; --surface-2: #262625;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --grid: #3a3a38;
+    --series-base: #3987e5; --series-cand: #d95926;
+    --status-good: #41b445; --status-bad: #e66767;
+  }
+}
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+h3 { font-size: 0.95rem; margin: 1.2rem 0 0.3rem; font-weight: 600; }
+p.meta { color: var(--text-secondary); }
+table { border-collapse: collapse; width: 100%; margin: 0.5rem 0 1rem; }
+th, td { text-align: left; padding: 0.25rem 0.6rem; white-space: nowrap; }
+th { color: var(--text-secondary); font-weight: 600;
+     border-bottom: 1px solid var(--grid); }
+td { border-bottom: 1px solid var(--surface-2); }
+td.num, th.num { text-align: right;
+                 font-variant-numeric: tabular-nums; }
+.badge { font-weight: 600; }
+.badge.pass { color: var(--status-good); }
+.badge.fail { color: var(--status-bad); }
+.legend { display: flex; gap: 1.2rem; align-items: center;
+          color: var(--text-secondary); margin: 0.6rem 0; }
+.legend .swatch { display: inline-block; width: 0.7rem; height: 0.7rem;
+                  border-radius: 2px; margin-right: 0.35rem;
+                  vertical-align: -0.05rem; }
+.strip { margin: 0.2rem 0 0.9rem; }
+svg text { fill: var(--text-secondary); font: 11px system-ui, sans-serif; }
+.bar-track { background: var(--surface-2); height: 8px; border-radius: 4px; }
+.bar-fill { background: var(--series-base); height: 8px; border-radius: 4px; }
+"""
+
+
+def fmt(value: float) -> str:
+    """Compact numeric formatting for table cells."""
+    return f"{value:.4g}"
+
+
+def scale(lo: float, hi: float, width: float):
+    """Closure mapping a value in ``[lo, hi]`` onto ``[0, width]`` pixels."""
+    span = hi - lo
+    if span <= 0.0:
+        return lambda value: width / 2.0
+    return lambda value: (value - lo) / span * width

@@ -217,12 +217,19 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    import json
+
     from .obs import read_log
 
     try:
         log = read_log(args.log)
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: {error}")
+
+    if args.format == "json":
+        report = log.to_report()
+        print(json.dumps(report, sort_keys=True, indent=1))
+        return 0 if report["reconciled"] else 1
 
     if log.manifest is not None:
         print("run manifest:")
@@ -756,6 +763,26 @@ def _cmd_sweep(args) -> int:
     ]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     recorder = JsonlRecorder(args.obs_out) if args.obs_out else None
+
+    progress = None
+    if args.progress:
+
+        def progress(event) -> None:
+            completed = event.done + event.cached
+            eta_text = ""
+            if event.done > 0 and completed < event.total:
+                eta = (
+                    event.elapsed_seconds / event.done * (event.total - completed)
+                )
+                eta_text = f" eta {eta:.1f}s"
+            print(
+                f"\r{completed}/{event.total} tasks ({event.done} run, "
+                f"{event.cached} cached, {event.failed} failed){eta_text}   ",
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
     try:
         report = run_sweep(
             tasks,
@@ -763,8 +790,12 @@ def _cmd_sweep(args) -> int:
             cache=cache,
             recorder=recorder,
             retries=args.retries,
+            shard_dir=args.obs_dir,
+            on_event=progress,
         )
     except (RuntimeError, ValueError) as error:
+        if args.progress:
+            print(file=sys.stderr)
         print(f"error: {error}", file=sys.stderr)
         cause = error.__cause__
         while cause is not None:
@@ -776,6 +807,8 @@ def _cmd_sweep(args) -> int:
     finally:
         if recorder is not None:
             recorder.close()
+    if args.progress:
+        print(file=sys.stderr)
 
     rows = [outcome.row() for outcome in report.outcomes]
     if args.format == "json":
@@ -826,6 +859,42 @@ def _cmd_sweep(args) -> int:
             f"run log written to {args.obs_out} (inspect with: repro obs {args.obs_out})",
             file=sys.stderr,
         )
+    if args.obs_dir:
+        print(
+            f"worker shards written under {args.obs_dir} (sweep {report.sweep_id}; "
+            f"render with: repro timeline {args.obs_dir})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    import json
+
+    from .benchstats import render_timeline_html
+    from .obs import build_timeline_payload, load_merged
+
+    try:
+        merged = load_merged(args.run_dir, sweep=args.sweep)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    payload = build_timeline_payload(merged)
+    html_text = render_timeline_html(payload, title=args.title)
+    out_path = Path(args.out)
+    out_path.write_text(html_text, encoding="utf-8")
+    print(f"timeline written to {out_path}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"timeline document written to {args.json_out}")
+    if not payload["reconciled"]:
+        print(
+            "error: merged per-stage energy does not reconcile with the "
+            "reported task totals",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -875,6 +944,11 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="inspect a JSONL observability log"
     )
     obs.add_argument("log", metavar="RUN.jsonl")
+    obs.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="table renders for humans; json emits the machine-readable "
+        "obs-report document (sorted keys) for CI assertions",
+    )
     obs.set_defaults(func=_cmd_obs)
 
     compress = subparsers.add_parser("compress", help="run the E2 compression comparison")
@@ -1015,7 +1089,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs-out", metavar="RUN.jsonl", default=None,
         help="record spans/counters to a JSONL log (see: repro obs)",
     )
+    sweep.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="record per-worker observability shards under DIR "
+        "(render with: repro timeline DIR)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr (done/failed/cached, ETA)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="merge a sweep's worker shards and render an HTML Gantt timeline",
+    )
+    timeline.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="shard root from `repro sweep --obs-dir` (or one sweep's directory)",
+    )
+    timeline.add_argument(
+        "--sweep", metavar="SWEEP_ID", default=None,
+        help="select one sweep when RUN_DIR holds several",
+    )
+    timeline.add_argument(
+        "--out", metavar="TIMELINE.html", default="timeline.html",
+        help="output HTML path (default timeline.html)",
+    )
+    timeline.add_argument(
+        "--json-out", metavar="TIMELINE.json", default=None,
+        help="also write the machine-readable sweep-timeline document",
+    )
+    timeline.add_argument(
+        "--title", default="Sweep timeline", help="report heading"
+    )
+    timeline.set_defaults(func=_cmd_timeline)
 
     return parser
 

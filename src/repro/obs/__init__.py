@@ -37,9 +37,12 @@ from .counters import (
     attrs_key,
 )
 from .manifest import RunManifest, collect_manifest, config_fingerprint
+from .merge import MergedSweep, ShardLog, TaskSegment, load_merged, load_shards, merge_shards
 from .recorder import SCHEMA_VERSION, JsonlRecorder, NullRecorder, Recorder
-from .replay import ObsLog, SpanRecord, read_log
+from .replay import OBS_REPORT_SCHEMA_VERSION, ObsLog, SpanRecord, read_log
+from .shard import WORKER_SHARD_SCHEMA_VERSION, ShardRecorder
 from .spans import span
+from .timeline import TIMELINE_SCHEMA_VERSION, build_timeline_payload
 
 __all__ = [
     "Clock",
@@ -60,4 +63,15 @@ __all__ = [
     "ObsLog",
     "SpanRecord",
     "read_log",
+    "OBS_REPORT_SCHEMA_VERSION",
+    "WORKER_SHARD_SCHEMA_VERSION",
+    "TIMELINE_SCHEMA_VERSION",
+    "ShardRecorder",
+    "ShardLog",
+    "TaskSegment",
+    "MergedSweep",
+    "load_shards",
+    "merge_shards",
+    "load_merged",
+    "build_timeline_payload",
 ]

@@ -34,6 +34,7 @@ version 1; anything else bumps :data:`SCHEMA_VERSION`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, Mapping, Union
 
@@ -103,6 +104,14 @@ class JsonlRecorder(Recorder):
     clock:
         Time source for span timing; defaults to the wall clock.  Inject
         :class:`~repro.obs.clock.TickClock` for deterministic logs.
+
+    Path sinks are fork-safe: the file is opened ``O_APPEND`` with line
+    buffering, and every emit checks the pid.  A forked child that
+    inherits this recorder reopens the path (append mode, fresh fd) on
+    its first emit instead of writing through the parent's inherited file
+    position — ``O_APPEND`` on both fds makes parent and child lines
+    interleave without clobbering, and line buffering means the stream
+    abandoned to the child's GC holds no partial line to double-flush.
     """
 
     enabled = True
@@ -111,11 +120,14 @@ class JsonlRecorder(Recorder):
         self, sink: Union[str, Path, IO[str]], clock: Clock | None = None
     ) -> None:
         if isinstance(sink, (str, Path)):
-            self._stream: IO[str] = Path(sink).open("w", encoding="utf-8")
+            self._sink_path: Path | None = Path(sink)
+            self._stream: IO[str] = self._open_sink(truncate=True)
             self._owns_stream = True
         else:
+            self._sink_path = None
             self._stream = sink
             self._owns_stream = False
+        self._pid = os.getpid()
         self._clock = clock if clock is not None else WallClock()
         self._origin_seconds = self._clock.now_seconds()
         self._next_id = 1
@@ -124,7 +136,20 @@ class JsonlRecorder(Recorder):
 
     # -- event emission ----------------------------------------------------------
 
+    def _open_sink(self, truncate: bool) -> IO[str]:
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if truncate:
+            flags |= os.O_TRUNC
+        fd = os.open(str(self._sink_path), flags, 0o644)
+        return os.fdopen(fd, "w", encoding="utf-8", buffering=1)
+
     def _emit(self, payload: dict) -> None:
+        if self._owns_stream and os.getpid() != self._pid:
+            # First emit after a fork: take a child-owned fd (append mode —
+            # never truncate the parent's lines) and leave the inherited
+            # stream untouched for the parent.
+            self._stream = self._open_sink(truncate=False)
+            self._pid = os.getpid()
         self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
 
     def _elapsed_origin_seconds(self) -> float:

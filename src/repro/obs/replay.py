@@ -25,7 +25,10 @@ from .counters import (
 )
 from .recorder import SCHEMA_VERSION
 
-__all__ = ["SpanRecord", "ObsLog", "read_log"]
+__all__ = ["OBS_REPORT_SCHEMA_VERSION", "SpanRecord", "ObsLog", "read_log"]
+
+#: Version of the machine-readable ``repro obs --format json`` document.
+OBS_REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -127,6 +130,57 @@ class ObsLog:
             summed = components.get(stage, 0.0)
             rows.append((stage, summed, reported, summed == reported))
         return rows
+
+    def to_report(self) -> dict:
+        """The machine-readable ``obs-report`` document for this log.
+
+        Everything ``repro obs`` renders as tables, as one JSON-ready dict
+        (:data:`OBS_REPORT_SCHEMA_VERSION`): the manifest, the span tree,
+        counter totals, per-stage energy, engine routing, and the exact
+        reconciliation verdicts — so CI asserts on fields instead of
+        scraping table text.  Values stay full-precision floats.
+        """
+        registry = self.counters()
+        counters = [
+            {"name": name, "attrs": dict(key), "value": value}
+            for name in registry.names()
+            for key, value in registry.series(name).items()
+        ]
+        reconciliation = [
+            {
+                "stage": stage,
+                "component_sum_pj": summed,
+                "reported_total_pj": reported,
+                "exact": exact,
+            }
+            for stage, summed, reported, exact in self.reconcile_energy()
+        ]
+        return {
+            "schema": OBS_REPORT_SCHEMA_VERSION,
+            "generated_by": "repro obs",
+            "manifest": self.manifest,
+            "spans": [
+                {
+                    "name": record.name,
+                    "depth": record.depth,
+                    "elapsed_seconds": record.elapsed_seconds,
+                    "status": record.status,
+                    "attrs": record.attrs,
+                }
+                for record in self.spans()
+            ],
+            "counters": counters,
+            "stage_energy": [
+                {"stage": stage, "component": component, "energy_pj": value}
+                for stage, component, value in self.stage_energy_rows()
+            ],
+            "engine_routing": [
+                {"counter": name, "path": path, "calls": calls}
+                for name, path, calls in self.engine_rows()
+            ],
+            "reconciliation": reconciliation,
+            "reconciled": all(row["exact"] for row in reconciliation),
+        }
 
 
 def read_log(source: Union[str, Path, IO[str], Iterable[str]]) -> ObsLog:

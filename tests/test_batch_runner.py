@@ -215,6 +215,82 @@ class TestObservability:
         assert row["elapsed_seconds"] >= 0
 
 
+class TestWorkerShards:
+    def test_shard_layout_and_sweep_id(self, tmp_path):
+        from repro.batch import shard_path, sweep_fingerprint
+
+        tasks = small_sweep()
+        obs_dir = tmp_path / "obs"
+        report = run_sweep(tasks, jobs=1, shard_dir=obs_dir)
+        assert report.sweep_id == sweep_fingerprint(tasks)
+        sweep_dir = obs_dir / report.sweep_id[:2] / report.sweep_id
+        shards = sorted(path.name for path in sweep_dir.glob("*.jsonl"))
+        assert "parent.jsonl" in shards
+        assert sum(name.startswith("w") for name in shards) == 1  # jobs=1
+        assert shard_path(obs_dir, report.sweep_id, "parent") in sweep_dir.iterdir()
+
+    def test_no_shard_dir_means_no_shards_and_empty_sweep_id(self, tmp_path):
+        report = run_sweep(small_sweep()[:1], jobs=1)
+        assert report.sweep_id == ""
+
+    def test_parent_shard_records_lifecycle(self, tmp_path):
+        from repro.obs import load_shards
+
+        tasks = small_sweep()
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(tasks[:2], jobs=1, cache=cache)  # warm two entries
+        report = run_sweep(tasks, jobs=1, cache=cache, shard_dir=tmp_path / "obs")
+        parent = next(
+            shard
+            for shard in load_shards(tmp_path / "obs", sweep=report.sweep_id)
+            if shard.role == "parent"
+        )
+        events = [event["event"] for event in parent.lifecycle]
+        assert events.count("cache_hit") == 2
+        assert events.count("submitted") == 2
+        assert events.count("merged") == 2
+
+    def test_retry_attribution_lands_in_parent_shard(self, tmp_path):
+        from repro.obs import load_merged
+
+        task = flaky_task(tmp_path, "shard-flaky", fail_times=1)
+        report = run_sweep(
+            [task], jobs=1, shard_dir=tmp_path / "obs", backoff_seconds=0.01
+        )
+        merged = load_merged(tmp_path / "obs", sweep=report.sweep_id)
+        waves = merged.metrics()["retry_waves"]
+        assert len(waves) == 1
+        assert waves[0]["tasks"] == [task.label()]
+
+
+class TestProgressEvents:
+    def test_events_account_every_task(self, tmp_path):
+        from repro.batch import SweepEvent
+
+        tasks = small_sweep()
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(tasks[:2], jobs=1, cache=cache)
+        events: list[SweepEvent] = []
+        run_sweep(tasks, jobs=2, cache=cache, on_event=events.append)
+        assert [event.kind for event in events].count("task_done") == 2
+        assert [event.kind for event in events].count("cache_hit") == 2
+        final = events[-1]
+        assert (final.done, final.cached, final.failed) == (2, 2, 0)
+        assert all(event.total == 4 for event in events)
+        assert all(event.elapsed_seconds >= 0 for event in events)
+
+    def test_retry_wave_events_carry_labels(self, tmp_path):
+        events = []
+        task = flaky_task(tmp_path, "event-flaky", fail_times=1)
+        run_sweep([task], jobs=1, backoff_seconds=0.01, on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert "task_failed" in kinds
+        assert "retry_wave" in kinds
+        assert kinds[-1] == "task_done"
+        failed = next(event for event in events if event.kind == "task_failed")
+        assert failed.label == task.label()
+
+
 class TestSharding:
     def test_outcome_shards_deterministic_across_runs(self):
         tasks = small_sweep()

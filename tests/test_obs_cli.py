@@ -106,6 +106,49 @@ class TestObsCommand:
         assert "(none recorded)" in capsys.readouterr().out
 
 
+class TestObsJsonFormat:
+    def test_json_document_is_canonical_and_versioned(self, run_log, capsys):
+        from repro.obs import OBS_REPORT_SCHEMA_VERSION
+
+        assert main(["obs", str(run_log), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert report["schema"] == OBS_REPORT_SCHEMA_VERSION
+        assert report["generated_by"] == "repro obs"
+        assert report["manifest"]["config_hash"]
+        assert report["reconciled"] is True
+        assert {span["name"] for span in report["spans"]} >= {"trace_load", "playback"}
+        assert all(row["exact"] for row in report["reconciliation"])
+        assert report["engine_routing"]
+        # sort_keys=True emission: the document round-trips canonically.
+        assert out.strip() == json.dumps(report, sort_keys=True, indent=1)
+
+    def test_unreconciled_json_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "doctored.jsonl"
+        lines = [
+            {
+                "v": 1,
+                "kind": "counter",
+                "name": "stage.energy_pj",
+                "value": 1.0,
+                "span": None,
+                "attrs": {"stage": "clustered", "component": "bank"},
+            },
+            {
+                "v": 1,
+                "kind": "counter",
+                "name": "flow.total_pj",
+                "value": 2.0,
+                "span": None,
+                "attrs": {"stage": "clustered"},
+            },
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        assert main(["obs", str(path), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["reconciled"] is False
+
+
 class TestBenchManifest:
     def test_bench_embeds_the_run_manifest(self, tmp_path, capsys):
         assert (
