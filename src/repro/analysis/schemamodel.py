@@ -170,6 +170,33 @@ REPRO_SCHEMA_MODEL = SchemaModel(
             ),
         ),
         SchemaSpec(
+            name="trace-store",
+            writers=("repro.trace.store.build_store_header",),
+            readers=(
+                "repro.trace.store.read_store_header",
+                "repro.trace.store._validate_header",
+                "repro.trace.store._open_columns",
+                "repro.trace.store._verify_columns",
+                "repro.trace.store.store_digest",
+                "repro.trace.store.load_store",
+                "repro.trace.store.open_store",
+            ),
+            persist=("repro.trace.store.save_store",),
+            version_constant="repro.trace.store.TRACE_STORE_SCHEMA_VERSION",
+            version=1,
+            fields=(
+                "chunk_size",
+                "columns",
+                "dtype",
+                "events",
+                "header_digest",
+                "name",
+                "schema",
+                "sha256",
+                "trace_digest",
+            ),
+        ),
+        SchemaSpec(
             name="obs-jsonl",
             writers=(
                 "repro.obs.recorder.JsonlRecorder.span_start",

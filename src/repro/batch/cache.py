@@ -128,6 +128,37 @@ class ResultCache:
             result=record["result"],
         )
 
+    def trace_store_path(self, digest: str) -> Path:
+        """On-disk location of the packed trace store for ``digest``.
+
+        Packed traces live beside the result entries, under
+        ``root/traces/<digest[:2]>/<digest>.tstore`` — content-addressed by
+        the same trace digest that keys the results, so any spec resolving
+        to the same events shares one spill.
+        """
+        return self.root / "traces" / digest[:2] / f"{digest}.tstore"
+
+    def pack_trace(self, trace, digest: str) -> Path:
+        """Spill ``trace`` into this cache's store for ``digest`` (idempotent).
+
+        Packing is atomic (staged directory + rename, see
+        :func:`repro.trace.store.save_store`); a concurrent packer losing
+        the rename race is fine — both wrote identical content, so the
+        survivor is accepted as-is.
+        """
+        from ..trace.store import save_store
+
+        path = self.trace_store_path(digest)
+        if (path / "header.json").is_file():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            save_store(trace, path)
+        except OSError:
+            if not (path / "header.json").is_file():
+                raise
+        return path
+
     def store(self, entry: CacheEntry) -> Path:
         """Atomically persist ``entry``; returns its on-disk path.
 

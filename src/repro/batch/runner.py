@@ -50,9 +50,10 @@ from ..obs.recorder import NullRecorder
 from ..obs.shard import WORKER_SHARD_SCHEMA_VERSION, ShardRecorder
 from ..obs.spans import span
 from ..trace.io import trace_digest
+from ..trace.store import StoreError, load_store, store_digest
 from .cache import CacheEntry, ResultCache, cache_key, shard_path
 from .flows import run_flow
-from .spec import SweepTask, shard_of
+from .spec import SweepTask, TraceSpec, shard_of
 
 __all__ = [
     "ShardConfig",
@@ -207,12 +208,64 @@ def _worker_shard_recorder(shard: ShardConfig) -> ShardRecorder:
     return recorder
 
 
-def _execute_task(task: SweepTask, shard: ShardConfig | None = None) -> str:
+#: Per-process trace memo: (pid, trace spec) → loaded Trace.  A sweep fans
+#: many configs over few traces, so a worker that just parsed a trace for
+#: one task will almost always need the identical trace for its next task.
+#: The pid in the key defuses fork inheritance; the cap bounds resident
+#: traces so a long heterogeneous sweep cannot accumulate every input.
+_TRACE_MEMO: dict = {}
+
+#: Maximum distinct (pid, spec) entries held before the memo is dropped.
+_TRACE_MEMO_CAP = 8
+
+
+def _load_task_trace(spec: TraceSpec, store_map: dict | None = None):
+    """Load (or reuse) the trace for ``spec`` in this process.
+
+    Loads are memoized per (pid, spec): a 16-task sweep over one trace
+    parses it once per process, not once per task.  When ``store_map``
+    offers a packed spill for the spec, the trace is read from the store
+    (mmap + one O(n) materialization — no re-parse of the original recipe);
+    a store that fails verification is treated as a cache miss and the
+    spec's own recipe re-derives the trace, so corruption can never
+    produce wrong results.
+
+    The memo is deterministic shared state: every process computes the
+    identical trace from the identical spec, so reuse is observable only
+    as saved parse time.
+    """
+    key = (os.getpid(), spec)
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        return trace
+    trace = None
+    store_path = (store_map or {}).get(spec)
+    if store_path is not None:
+        try:
+            trace = load_store(store_path, verify=True).to_trace()
+        except StoreError:
+            # Corrupt spill == cache miss: fall through to the recipe.
+            trace = None
+    if trace is None:
+        trace = spec.load()
+    if len(_TRACE_MEMO) >= _TRACE_MEMO_CAP:
+        _TRACE_MEMO.clear()  # repro: lint-ignore[PAR001]
+    _TRACE_MEMO[key] = trace  # repro: lint-ignore[PAR001]
+    return trace
+
+
+def _execute_task(
+    task: SweepTask,
+    shard: ShardConfig | None = None,
+    store_map: dict | None = None,
+) -> str:
     """Worker entry point: run one task and return its result as canonical JSON.
 
     Runs in a worker process, so it rebuilds the trace from the task's
-    spec and returns *text* — the parent parses it, which keeps the
-    pickled payload small and the normalization single-sourced.
+    spec (via the per-process memo in :func:`_load_task_trace`, reading
+    from a packed store when ``store_map`` offers one) and returns *text*
+    — the parent parses it, which keeps the pickled payload small and the
+    normalization single-sourced.
 
     With a :class:`ShardConfig`, the task runs instrumented: its spans and
     counters land in this worker's shard as a self-contained task block
@@ -221,7 +274,7 @@ def _execute_task(task: SweepTask, shard: ShardConfig | None = None) -> str:
     merger can reassemble the sweep regardless of which worker ran what.
     """
     if shard is None:
-        trace = task.trace.load()
+        trace = _load_task_trace(task.trace, store_map)
         result = run_flow(task.flow, trace, task.config_dict, recorder=None)
         return json.dumps(result, sort_keys=True)
     recorder = _worker_shard_recorder(shard)
@@ -230,7 +283,7 @@ def _execute_task(task: SweepTask, shard: ShardConfig | None = None) -> str:
     )
     try:
         with span(recorder, "sweep.task", label=task.label(), flow=task.flow):
-            trace = task.trace.load()
+            trace = _load_task_trace(task.trace, store_map)
             result = run_flow(task.flow, trace, task.config_dict, recorder=recorder)
     except BaseException as error:
         recorder.end_task(status="error", error=type(error).__name__)
@@ -354,11 +407,17 @@ def run_sweep(
     with closer, span(recorder, "sweep", tasks=len(tasks), jobs=jobs):
         # Resolve every task's cache key up front: load each distinct trace
         # spec once (memoized), digest it, and satisfy what we can from cache.
+        # Store-backed specs are digested from their header alone — no event
+        # is materialized for them parent-side.
         digests: dict = {}
+        store_map: dict = {}
         pending: list = []
         for index, task in enumerate(tasks):
             if task.trace not in digests:
-                digests[task.trace] = trace_digest(task.trace.load())
+                if task.trace.kind == "store":
+                    digests[task.trace] = store_digest(task.trace.name)
+                else:
+                    digests[task.trace] = trace_digest(_load_task_trace(task.trace))
             key = cache_key(task.flow, task.config_hash, digests[task.trace])
             shard = shard_of(task.spec_fingerprint(), max(jobs, 1))
             if recorder is not None:
@@ -387,6 +446,19 @@ def run_sweep(
                 if recorder is not None:
                     recorder.counter(BATCH_CACHE_MISSES, 1, flow=task.flow)
                 pending.append(_Pending(index=index, task=task, key=key, shard=shard))
+
+        # Spill each distinct spec that still has work into the cache's
+        # trace store: workers then mmap packed columns (keyed by the same
+        # content digest as the results) instead of re-running the recipe.
+        # Specs already backed by a store need no spill.
+        if cache is not None:
+            for item in pending:
+                spec = item.task.trace
+                if spec.kind == "store" or spec in store_map:
+                    continue
+                store_map[spec] = str(
+                    cache.pack_trace(_load_task_trace(spec), digests[spec])
+                )
 
         def merge(item: _Pending, payload: str) -> None:
             nonlocal done_count
@@ -443,7 +515,10 @@ def run_sweep(
                             shard=item.shard,
                             attempt=item.attempts,
                         ):
-                            merge(item, _execute_task(item.task, shard_config))
+                            merge(
+                                item,
+                                _execute_task(item.task, shard_config, store_map),
+                            )
                         last_error = None
                         break
                     except Exception as error:  # noqa: BLE001 - retried below
@@ -500,7 +575,9 @@ def run_sweep(
                                 attempt=item.attempts,
                             )
                         futures[
-                            pool.submit(_execute_task, item.task, shard_config)
+                            pool.submit(
+                                _execute_task, item.task, shard_config, store_map
+                            )
                         ] = item
                     remaining = set(futures)
                     broken = False

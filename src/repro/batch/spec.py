@@ -77,7 +77,7 @@ def _generators() -> dict:
     return GENERATORS
 
 
-_KINDS = ("kernel", "file", "synthetic", "inline")
+_KINDS = ("kernel", "file", "synthetic", "inline", "store")
 
 
 @dataclass(frozen=True)
@@ -89,11 +89,13 @@ class TraceSpec:
     kind:
         ``"kernel"`` (run a bundled ISS kernel), ``"file"`` (load a saved
         ``.npz``/``.trc`` trace), ``"synthetic"`` (instantiate a registered
-        generator), or ``"inline"`` (events carried in the spec itself —
-        used by property tests sweeping arbitrary traces).
+        generator), ``"inline"`` (events carried in the spec itself —
+        used by property tests sweeping arbitrary traces), or ``"store"``
+        (load a packed ``.tstore`` trace-store directory; its header digest
+        keys the result cache without materializing any events).
     name:
-        Kernel name, file path, generator registry key, or inline trace
-        name respectively.
+        Kernel name, file path, generator registry key, inline trace
+        name, or store directory path respectively.
     params:
         Sorted ``(key, value)`` pairs: generator constructor arguments for
         ``synthetic``; for ``kernel``, an optional ``("space",
@@ -137,6 +139,11 @@ class TraceSpec:
         return cls(kind="file", name=str(path))
 
     @classmethod
+    def store(cls, path: "str | Path") -> "TraceSpec":
+        """Spec for a packed trace-store directory (``.tstore``)."""
+        return cls(kind="store", name=str(path))
+
+    @classmethod
     def synthetic(cls, generator: str, **params) -> "TraceSpec":
         """Spec for a registered synthetic generator with the given arguments."""
         if generator not in _generators():
@@ -168,10 +175,10 @@ class TraceSpec:
     def from_source(cls, source: str) -> "TraceSpec":
         """Resolve a CLI source string into a spec.
 
-        Accepted forms: a ``.npz``/``.trc`` trace file path, a bundled
-        kernel name, or ``synth:GENERATOR[:key=value,...]`` for a
-        registered synthetic generator (values parse as int, float, or
-        string, in that order).
+        Accepted forms: a ``.npz``/``.trc`` trace file path, a packed
+        ``.tstore`` trace-store directory, a bundled kernel name, or
+        ``synth:GENERATOR[:key=value,...]`` for a registered synthetic
+        generator (values parse as int, float, or string, in that order).
         """
         if source.startswith("synth:"):
             _, _, rest = source.partition(":")
@@ -187,6 +194,8 @@ class TraceSpec:
                 params[key] = parse_scalar(raw)
             return cls.synthetic(name, **params)
         path = Path(source)
+        if path.suffix == ".tstore" and path.is_dir():
+            return cls.store(path)
         if path.suffix in (".npz", ".trc") and path.exists():
             return cls.file(path)
         from ..isa import kernel_names
@@ -194,8 +203,9 @@ class TraceSpec:
         if source in kernel_names():
             return cls.kernel(source)
         raise ValueError(
-            f"{source!r} is neither an existing trace file, a kernel "
-            f"({', '.join(kernel_names())}), nor a synth: spec"
+            f"{source!r} is neither an existing trace file, a packed "
+            f".tstore store directory, a kernel ({', '.join(kernel_names())}), "
+            f"nor a synth: spec"
         )
 
     # -- accessors ----------------------------------------------------------------
@@ -232,6 +242,12 @@ class TraceSpec:
             if path.suffix == ".npz":
                 return load_npz(path)
             return load_text(path)
+        if self.kind == "store":
+            from ..trace.store import load_store
+
+            # verify=True: a corrupt store must fail loudly here rather
+            # than replay wrong events into a flow.
+            return load_store(self.name, verify=True).to_trace()
         if self.kind == "synthetic":
             generator = _generators()[self.name]
             return generator(**self.params_dict).generate()

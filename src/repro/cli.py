@@ -33,6 +33,14 @@ Subcommands
     BIST coverage + deterministic top-up demo (EX8).
 ``phases SOURCE``
     Detect program phases in a trace.
+``trace pack SOURCE OUT.tstore``
+    Pack any trace source (kernel, file, ``synth:`` spec) into a versioned
+    memory-mapped columnar store directory; ``optimize`` and ``sweep``
+    consume ``.tstore`` sources by streaming chunks instead of
+    materializing the whole trace.
+``trace info STORE.tstore``
+    Print a store's header (schema version, event count, chunk size,
+    content digest, columns); ``--verify`` re-hashes every column.
 ``sweep SOURCE [SOURCE...]``
     Fan one benchmark flow over traces × configurations through the
     ``repro.batch`` work queue: deterministic sharding, content-addressed
@@ -97,17 +105,24 @@ _CODECS = {
 
 
 def _load_trace(source: str) -> Trace:
-    """Resolve a trace source: a kernel name or a trace file path."""
+    """Resolve a trace source: a kernel name, a trace file, or a ``.tstore``."""
     path = Path(source)
     if path.suffix == ".npz" and path.exists():
         return load_npz(path)
     if path.suffix == ".trc" and path.exists():
         return load_text(path)
+    if path.suffix == ".tstore" and path.is_dir():
+        from .trace.store import StoreError, load_store
+
+        try:
+            return load_store(path, verify=True).to_trace()
+        except StoreError as error:
+            raise SystemExit(f"error: {error} (cause: {error.__cause__})")
     if source in kernel_names():
         return CPU().run(load_kernel(source)).data_trace
     raise SystemExit(
-        f"error: {source!r} is neither an existing trace file nor a kernel "
-        f"(kernels: {', '.join(kernel_names())})"
+        f"error: {source!r} is neither an existing trace file, a packed "
+        f".tstore store, nor a kernel (kernels: {', '.join(kernel_names())})"
     )
 
 
@@ -183,7 +198,19 @@ def _cmd_optimize(args) -> int:
     recorder = JsonlRecorder(args.obs_out) if args.obs_out else None
     try:
         with span(recorder, "trace_load", source=args.source):
-            trace = _load_trace(args.source)
+            path = Path(args.source)
+            if path.suffix == ".tstore" and path.is_dir():
+                # Store-backed sources stream: the flow plays the trace
+                # chunk-by-chunk off the mmap'd columns, so peak memory is
+                # bounded by the chunk size, not the trace length.
+                from .trace.store import StoreError, open_store
+
+                try:
+                    trace = open_store(path)
+                except StoreError as error:
+                    raise SystemExit(f"error: {error} (cause: {error.__cause__})")
+            else:
+                trace = _load_trace(args.source)
         flow = optimize_memory_layout(
             trace,
             recorder=recorder,
@@ -726,6 +753,54 @@ def _cmd_phases(args) -> int:
     return 0
 
 
+def _cmd_trace_pack(args) -> int:
+    import json
+
+    from .batch.spec import TraceSpec
+    from .trace.store import DEFAULT_CHUNK_EVENTS, STORE_SUFFIX, save_store
+
+    try:
+        spec = TraceSpec.from_source(args.source)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    trace = spec.load()
+    out = Path(args.out)
+    if out.suffix != STORE_SUFFIX:
+        raise SystemExit(
+            f"error: output path {args.out!r} must end in {STORE_SUFFIX}"
+        )
+    chunk_size = args.chunk_size if args.chunk_size else DEFAULT_CHUNK_EVENTS
+    path = save_store(trace, out, chunk_size=chunk_size)
+    header = json.loads((path / "header.json").read_text())
+    chunks = -(-header["events"] // header["chunk_size"]) if header["events"] else 0
+    print(f"packed {header['events']} events from {trace.name!r} into {path}")
+    print(f"  chunk_size   {header['chunk_size']} ({chunks} chunks)")
+    print(f"  trace_digest {header['trace_digest']}")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from .trace.store import StoreError, read_store_header, verify_store
+
+    try:
+        if args.verify:
+            header = verify_store(Path(args.store))
+        else:
+            header = read_store_header(Path(args.store))
+    except StoreError as error:
+        raise SystemExit(f"error: {error} (cause: {error.__cause__})")
+    print(f"store        {args.store}")
+    print(f"schema       {header['schema']}")
+    print(f"name         {header['name']}")
+    print(f"events       {header['events']}")
+    print(f"chunk_size   {header['chunk_size']}")
+    print(f"trace_digest {header['trace_digest']}")
+    print(f"columns      {', '.join(sorted(header['columns']))}")
+    if args.verify:
+        print("verified     column digests match header")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import csv
     import io
@@ -1054,6 +1129,40 @@ def build_parser() -> argparse.ArgumentParser:
     phases.add_argument("--clusters", type=int, default=3)
     phases.add_argument("--block-size", type=int, default=32)
     phases.set_defaults(func=_cmd_phases)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="pack and inspect on-disk columnar trace stores (.tstore)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    pack = trace_sub.add_parser(
+        "pack",
+        help="pack a trace source into a memory-mappable .tstore directory",
+    )
+    pack.add_argument(
+        "source",
+        metavar="SOURCE",
+        help="kernel name, trace file, or synth:GENERATOR[:k=v,...]",
+    )
+    pack.add_argument("out", metavar="OUT.tstore", help="output store directory")
+    pack.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="streaming chunk size recorded in the header (default 65536)",
+    )
+    pack.set_defaults(func=_cmd_trace_pack)
+    info = trace_sub.add_parser(
+        "info", help="print a store's header (schema, digest, columns)"
+    )
+    info.add_argument("store", metavar="STORE.tstore")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check per-column digests against the header",
+    )
+    info.set_defaults(func=_cmd_trace_info)
 
     from .batch.flows import FLOW_NAMES
 

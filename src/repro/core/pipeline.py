@@ -28,7 +28,7 @@ from ..partition.evaluate import SimulatedPartitionEnergy, simulate_partition
 from ..partition.greedy import EvenPartitioner, GreedyPartitioner
 from ..partition.optimal import OptimalPartitioner, PartitionResult
 from ..partition.spec import PartitionSpec
-from ..trace.columnar import COLUMNAR_THRESHOLD, use_columnar
+from ..trace.columnar import COLUMNAR_THRESHOLD, is_streamed_trace, use_columnar
 from ..trace.profile import AccessProfile
 from ..trace.trace import Trace
 from .clustering import ClusteringStrategy, IdentityClustering, get_strategy
@@ -256,7 +256,13 @@ class MemoryOptimizationFlow:
         )
 
     def run(self, trace: Trace) -> FlowResult:
-        """Execute the flow; return the three-way energy comparison."""
+        """Execute the flow; return the three-way energy comparison.
+
+        ``trace`` may also be a streamed trace
+        (:class:`repro.trace.store.StreamedTrace`): profiling and playback
+        then run chunk-by-chunk, so a store-backed trace flows end to end
+        without ever being resident in memory at once.
+        """
         config = self.config
         recorder = self.recorder
         data_trace = trace.data_accesses()
@@ -325,7 +331,11 @@ class MemoryOptimizationFlow:
                 partitioner = config.make_partitioner()
                 result = partitioner.partition(cost_model)
         with span(recorder, "playback", variant=label, banks=result.num_banks):
-            if use_columnar(data_trace):
+            if is_streamed_trace(data_trace):
+                # Streamed traces remap lazily, chunk by chunk, keeping the
+                # playback memory bound at the chunk size.
+                layout_trace = data_trace.map_chunks(layout.remap_columnar)
+            elif use_columnar(data_trace):
                 # Above the columnar threshold the whole playback chain stays
                 # in array form: vectorized remap feeds vectorized simulation.
                 layout_trace = layout.remap_columnar(data_trace.columnar())

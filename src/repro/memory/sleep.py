@@ -23,6 +23,7 @@ import numpy as np
 
 from ..obs.counters import (
     ENGINE_SCALAR,
+    ENGINE_STREAMED,
     ENGINE_VECTORIZED,
     SLEEP_ENERGY_PJ,
     SLEEP_ENGINE,
@@ -34,6 +35,7 @@ from ..trace.columnar import (
     ColumnarTrace,
     assign_banks,
     idle_interval_split,
+    is_streamed_trace,
     use_columnar,
 )
 from ..trace.trace import Trace
@@ -45,6 +47,7 @@ __all__ = [
     "simulate_bank_sleep",
     "simulate_bank_sleep_scalar",
     "simulate_bank_sleep_columnar",
+    "simulate_bank_sleep_streamed",
 ]
 
 
@@ -123,6 +126,11 @@ def simulate_bank_sleep(
     the engine path, wake-event count, and leakage energy components.
     """
     with span(recorder, "sleep", banks=len(bank_sizes)):
+        if is_streamed_trace(layout_trace):
+            return simulate_bank_sleep_streamed(
+                bank_sizes, bank_bases, layout_trace, policy, sram_model,
+                cycle_time_ns, recorder,
+            )
         if use_columnar(layout_trace):
             if isinstance(layout_trace, Trace):
                 layout_trace = layout_trace.columnar()
@@ -298,6 +306,98 @@ def simulate_bank_sleep_columnar(
         cycle_time_ns,
     )
     return _record_sleep(recorder, ENGINE_VECTORIZED, report)
+
+
+def simulate_bank_sleep_streamed(
+    bank_sizes: list[int],
+    bank_bases: list[int],
+    layout_trace,
+    policy: SleepPolicy,
+    sram_model: SRAMEnergyModel | None = None,
+    cycle_time_ns: float = 10.0,
+    recorder: Recorder | None = None,
+) -> BankSleepReport:
+    """Chunked :func:`simulate_bank_sleep` over a streamed trace.
+
+    Each chunk runs the columnar per-bank grouping; across chunks the
+    per-bank state carried forward is just ``(first_time, last_time)`` plus
+    the integer ``(awake, asleep, wakes)`` triple.  An idle interval that
+    straddles a chunk boundary is exactly the gap between a bank's carried
+    ``last_time`` and its first access in the next chunk, split by the same
+    ``min(gap, timeout)``/excess/``+1 wake`` rule the in-chunk kernel
+    applies — so the accumulated triples equal a whole-trace pass event for
+    event, and the report (folded once through
+    :func:`_accumulate_sleep_report`) is bit-identical to the scalar and
+    columnar engines.
+    """
+    _check_bank_geometry(bank_sizes, bank_bases)
+    if sram_model is None:
+        sram_model = SRAMEnergyModel()
+
+    bases = np.asarray(bank_bases, dtype=np.int64)
+    limits = bases + np.asarray(bank_sizes, dtype=np.int64)
+    num_banks = len(bank_sizes)
+    awake = [0] * num_banks
+    asleep = [0] * num_banks
+    wakes = [0] * num_banks
+    first_times: list[int | None] = [None] * num_banks
+    last_times: list[int | None] = [None] * num_banks
+    start_cycles: int | None = None
+    end_cycles = 0
+
+    for chunk in layout_trace.chunks():
+        if not len(chunk):
+            continue
+        if start_cycles is None:
+            start_cycles = int(chunk.timestamps[0])
+        end_cycles = int(chunk.timestamps[-1])
+        bank_ids = assign_banks(chunk.addresses, bases, limits)
+        order = np.argsort(bank_ids, kind="stable")
+        grouped_banks = bank_ids[order]
+        grouped_times = chunk.timestamps[order]
+        boundaries = np.flatnonzero(np.diff(grouped_banks)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(grouped_banks)]))
+        for seg_start, seg_end in zip(starts, ends):
+            index = int(grouped_banks[seg_start])
+            times = grouped_times[seg_start:seg_end]
+            previous = last_times[index]
+            if previous is not None:
+                # Boundary gap between chunks: same split rule as in-chunk.
+                gap_cycles = int(times[0]) - previous
+                if gap_cycles > policy.timeout_cycles:
+                    awake[index] += policy.timeout_cycles
+                    asleep[index] += gap_cycles - policy.timeout_cycles
+                    wakes[index] += 1
+                else:
+                    awake[index] += gap_cycles
+            seg_awake, seg_asleep, seg_wakes = idle_interval_split(
+                times, policy.timeout_cycles
+            )
+            awake[index] += seg_awake
+            asleep[index] += seg_asleep
+            wakes[index] += seg_wakes
+            if first_times[index] is None:
+                first_times[index] = int(times[0])
+            last_times[index] = int(times[-1])
+
+    if start_cycles is None:
+        return _record_sleep(
+            recorder, ENGINE_STREAMED, BankSleepReport(0.0, 0.0, 0, 0.0, 0.0)
+        )
+    per_bank = list(zip(awake, asleep, wakes))
+    report = _accumulate_sleep_report(
+        bank_sizes,
+        per_bank,
+        first_times,
+        last_times,
+        start_cycles,
+        end_cycles,
+        policy,
+        sram_model,
+        cycle_time_ns,
+    )
+    return _record_sleep(recorder, ENGINE_STREAMED, report)
 
 
 def _accumulate_sleep_report(

@@ -32,6 +32,7 @@ schema (v1).
 from .clock import Clock, TickClock, WallClock
 from .counters import (
     ENGINE_SCALAR,
+    ENGINE_STREAMED,
     ENGINE_VECTORIZED,
     CounterRegistry,
     attrs_key,
@@ -56,6 +57,7 @@ __all__ = [
     "CounterRegistry",
     "attrs_key",
     "ENGINE_SCALAR",
+    "ENGINE_STREAMED",
     "ENGINE_VECTORIZED",
     "RunManifest",
     "collect_manifest",

@@ -19,6 +19,7 @@ from typing import Iterable, Mapping, Tuple
 __all__ = [
     "ENGINE_SCALAR",
     "ENGINE_VECTORIZED",
+    "ENGINE_STREAMED",
     "PLAY_EVENTS",
     "PLAY_ENGINE",
     "PLAY_BANK_HITS",
@@ -51,6 +52,7 @@ __all__ = [
 #: Engine-path label values (``path=`` attr on ``*.engine`` counters).
 ENGINE_SCALAR = "scalar"
 ENGINE_VECTORIZED = "vectorized"
+ENGINE_STREAMED = "streamed"
 
 # -- memory playback (PartitionedMemory.play*) --------------------------------------
 PLAY_EVENTS = "play.events"

@@ -17,7 +17,7 @@ import numpy as np
 from ..memory.energy import DecoderEnergyModel, SRAMEnergyModel
 from ..memory.partitioned import PartitionedMemory
 from ..obs.recorder import Recorder
-from ..trace.columnar import ColumnarTrace
+from ..trace.columnar import ColumnarTrace, is_streamed_trace
 from ..trace.trace import Trace
 from .spec import PartitionSpec
 
@@ -120,7 +120,11 @@ def _simulate_rounded(
                 low = mid + 1
         return physical_bases[low] + (address - exact_edges[low])
 
-    if isinstance(layout_trace, ColumnarTrace):
+    if is_streamed_trace(layout_trace):
+        translated = layout_trace.map_chunks(
+            lambda chunk: _translate_columnar(chunk, exact_edges, physical_bases)
+        )
+    elif isinstance(layout_trace, ColumnarTrace):
         translated = _translate_columnar(layout_trace, exact_edges, physical_bases)
     else:
         translated = layout_trace.remap(translate)

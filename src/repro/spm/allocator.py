@@ -21,6 +21,7 @@ import numpy as np
 from ..memory.energy import SRAMEnergyModel
 from ..obs.counters import (
     ENGINE_SCALAR,
+    ENGINE_STREAMED,
     ENGINE_VECTORIZED,
     SPM_BENEFIT_PJ,
     SPM_BLOCKS,
@@ -28,7 +29,7 @@ from ..obs.counters import (
 )
 from ..obs.recorder import Recorder
 from ..obs.spans import span
-from ..trace.columnar import use_columnar
+from ..trace.columnar import is_streamed_trace, use_columnar
 from ..trace.profile import AccessProfile
 
 __all__ = ["SPMConfig", "SPMAllocation", "SPMAllocator"]
@@ -129,13 +130,19 @@ class SPMAllocator:
         counts = profile.access_counts()
         if use_columnar(profile.trace):
             # Vectorized exact top-k: lexsort on (-count, block) reproduces
-            # the scalar ranking, deterministic tie-break included.
+            # the scalar ranking, deterministic tie-break included.  A
+            # streamed trace's counts were merged chunk-by-chunk upstream,
+            # so the same ranking applies — only the engine label differs.
             blocks = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
             totals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
             picked = np.lexsort((blocks, -totals))[:capacity_blocks]
             chosen = blocks[picked].tolist()
             benefit_pj = saving_pj * int(totals[picked].sum())
-            engine = ENGINE_VECTORIZED
+            engine = (
+                ENGINE_STREAMED
+                if is_streamed_trace(profile.trace)
+                else ENGINE_VECTORIZED
+            )
         else:
             ranked = sorted(counts, key=lambda block: (-counts[block], block))
             chosen = ranked[:capacity_blocks]

@@ -1,8 +1,20 @@
 """Trace infrastructure: events, containers, profiles, generators, file I/O."""
 
-from .columnar import COLUMNAR_THRESHOLD, ColumnarTrace, use_columnar
+from .columnar import COLUMNAR_THRESHOLD, ColumnarTrace, is_streamed_trace, use_columnar
 from .events import AccessKind, AddressSpace, MemoryAccess
 from .io import load_npz, load_text, save_npz, save_text, trace_digest
+from .store import (
+    DEFAULT_CHUNK_EVENTS,
+    STORE_SUFFIX,
+    TRACE_STORE_SCHEMA_VERSION,
+    StoreError,
+    StreamedTrace,
+    load_store,
+    open_store,
+    save_store,
+    store_digest,
+    verify_store,
+)
 from .phases import Phase, PhaseDetector, PhaseSegmentation
 from .profile import AccessProfile, BlockStats, reuse_distances
 from .sampling import IntervalSampler, SystematicSampler, count_error, scale_counts
@@ -31,6 +43,17 @@ __all__ = [
     "ColumnarTrace",
     "COLUMNAR_THRESHOLD",
     "use_columnar",
+    "is_streamed_trace",
+    "StreamedTrace",
+    "StoreError",
+    "TRACE_STORE_SCHEMA_VERSION",
+    "STORE_SUFFIX",
+    "DEFAULT_CHUNK_EVENTS",
+    "save_store",
+    "load_store",
+    "open_store",
+    "store_digest",
+    "verify_store",
     "AccessProfile",
     "BlockStats",
     "reuse_distances",

@@ -52,6 +52,7 @@ __all__ = [
     "per_bank_read_write_counts",
     "idle_interval_split",
     "use_columnar",
+    "is_streamed_trace",
 ]
 
 #: Event count at or above which flow-layer consumers route a trace through
@@ -67,13 +68,26 @@ SPACE_DATA = 0
 SPACE_INSTRUCTION = 1
 
 
+def is_streamed_trace(trace) -> bool:
+    """Whether ``trace`` is a chunked streaming view (duck-typed).
+
+    Streamed traces (``repro.trace.store.StreamedTrace``) advertise an
+    ``is_streamed`` class attribute rather than an isinstance contract, so
+    the playback layers can route on it without importing the store module.
+    """
+    return bool(getattr(trace, "is_streamed", False))
+
+
 def use_columnar(trace: "Trace | ColumnarTrace") -> bool:
     """Whether a consumer should take the columnar path for ``trace``.
 
-    ``True`` for any :class:`ColumnarTrace` (the conversion is already paid)
-    and for scalar traces of at least :data:`COLUMNAR_THRESHOLD` events.
+    ``True`` for any :class:`ColumnarTrace` (the conversion is already
+    paid), for any streamed trace (whose chunks *are* columnar), and for
+    scalar traces of at least :data:`COLUMNAR_THRESHOLD` events.
     """
-    return isinstance(trace, ColumnarTrace) or len(trace) >= COLUMNAR_THRESHOLD
+    if isinstance(trace, ColumnarTrace) or is_streamed_trace(trace):
+        return True
+    return len(trace) >= COLUMNAR_THRESHOLD
 
 
 class ColumnarTrace:

@@ -30,6 +30,8 @@ __all__ = [
     "load_text",
     "save_npz",
     "load_npz",
+    "save_store",
+    "load_store",
     "trace_digest",
     "TRACE_DIGEST_VERSION",
 ]
@@ -115,6 +117,33 @@ def save_npz(trace: Trace, path: str | Path) -> None:
         values=values,
         name=np.array(trace.name),
     )
+
+
+def save_store(trace: Trace, path: str | Path, chunk_size: int | None = None) -> Path:
+    """Pack ``trace`` into an on-disk columnar store directory.
+
+    Thin convenience over :func:`repro.trace.store.save_store` (imported
+    lazily; the store module depends on this one for the digest version).
+    """
+    from .store import DEFAULT_CHUNK_EVENTS
+    from .store import save_store as _save_store
+
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_EVENTS
+    return _save_store(trace, path, chunk_size=chunk_size)
+
+
+def load_store(path: str | Path, verify: bool = False) -> Trace:
+    """Load a store directory back as a scalar :class:`Trace`.
+
+    Materializes every event (one O(n) pass) — the symmetric counterpart
+    of :func:`save_store` for consumers that want event objects.  Use
+    :func:`repro.trace.store.load_store`/``open_store`` for the zero-copy
+    columnar and streamed views.
+    """
+    from .store import load_store as _load_store
+
+    return _load_store(path, verify=verify).to_trace()
 
 
 def trace_digest(trace: Trace) -> str:

@@ -28,13 +28,14 @@ import numpy as np
 from ..obs.counters import (
     AFFINITY_ENGINE,
     ENGINE_SCALAR,
+    ENGINE_STREAMED,
     ENGINE_VECTORIZED,
     PROFILE_BLOCKS,
     PROFILE_ENGINE,
     PROFILE_EVENTS,
 )
 from ..obs.recorder import Recorder
-from .columnar import KIND_WRITE, ColumnarTrace, use_columnar
+from .columnar import KIND_WRITE, ColumnarTrace, is_streamed_trace, use_columnar
 from .trace import Trace
 
 __all__ = ["BlockStats", "AccessProfile", "reuse_distances"]
@@ -118,7 +119,10 @@ class AccessProfile:
         self._recorder = recorder
         self._stats: dict[int, BlockStats] = {}
         self._sequence: list[int] = []
-        if use_columnar(trace):
+        if is_streamed_trace(trace):
+            self._build_streamed(trace)
+            engine = ENGINE_STREAMED
+        elif use_columnar(trace):
             columnar = trace if isinstance(trace, ColumnarTrace) else trace.columnar()
             self._build_columnar(columnar)
             engine = ENGINE_VECTORIZED
@@ -177,6 +181,48 @@ class AccessProfile:
                 first_time=int(times[first_index[position]]),
                 last_time=int(times[last_index[position]]),
             )
+
+    def _build_streamed(self, trace) -> None:
+        """Chunked profile construction over a streamed trace.
+
+        Runs the columnar per-chunk arithmetic (``bincount`` counts,
+        first/last occurrence times) and merges chunk results into the
+        running stats: blocks already seen add counts and advance
+        ``last_time`` in place, unseen blocks are appended in their
+        chunk-local first-encounter order — which, chunks arriving in trace
+        order, reproduces the scalar reference's global first-encounter
+        dict order exactly.
+        """
+        for chunk in trace.chunks():
+            if not len(chunk):
+                continue
+            blocks = chunk.block_ids(self.block_size)
+            self._sequence.extend(blocks.tolist())
+            unique, first_index, inverse = np.unique(
+                blocks, return_index=True, return_inverse=True
+            )
+            write_mask = chunk.kinds == KIND_WRITE
+            writes = np.bincount(inverse[write_mask], minlength=len(unique))
+            totals = np.bincount(inverse, minlength=len(unique))
+            reads = totals - writes
+            last_index = np.empty(len(unique), dtype=np.int64)
+            last_index[inverse] = np.arange(len(blocks))
+            times = chunk.timestamps
+            for position in np.argsort(first_index, kind="stable").tolist():
+                block = int(unique[position])
+                stats = self._stats.get(block)
+                if stats is None:
+                    self._stats[block] = BlockStats(
+                        block=block,
+                        reads=int(reads[position]),
+                        writes=int(writes[position]),
+                        first_time=int(times[first_index[position]]),
+                        last_time=int(times[last_index[position]]),
+                    )
+                else:
+                    stats.reads += int(reads[position])
+                    stats.writes += int(writes[position])
+                    stats.last_time = int(times[last_index[position]])
 
     # -- basic queries ------------------------------------------------------------
 

@@ -1,0 +1,182 @@
+"""Property-based three-way equivalence: scalar == columnar == streamed.
+
+The trace store's playback contract is *exact*: replaying a packed trace
+chunk-by-chunk (any chunk size — one event per chunk, chunks straddling
+idle intervals, one chunk holding the whole trace) produces bit-identical
+reports to the scalar reference and the in-memory columnar engine, at
+every playback layer (partitioned play, bank sleep, access profile).
+Hypothesis searches random traces × random chunk sizes for
+counterexamples; chunk sizes are drawn past the trace length so the
+degenerate single-chunk case is exercised alongside chunk=1.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    PartitionedMemory,
+    SleepPolicy,
+    simulate_bank_sleep_columnar,
+    simulate_bank_sleep_scalar,
+)
+from repro.memory.sleep import simulate_bank_sleep_streamed
+from repro.trace import AccessKind, MemoryAccess, Trace
+from repro.trace.io import trace_digest
+from repro.trace.profile import AccessProfile
+from repro.trace.store import load_store, open_store, save_store, store_digest
+
+BANK_BYTES = 256
+
+# One event: (offset, is_write, timestamp gap, size, optional value payload).
+event_strategy = st.tuples(
+    st.integers(min_value=0, max_value=4 * BANK_BYTES - 8),
+    st.booleans(),
+    st.integers(min_value=0, max_value=500),
+    st.sampled_from([1, 2, 4, 8]),
+    st.one_of(st.none(), st.integers(min_value=-(2**31), max_value=2**31)),
+)
+
+trace_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4),  # number of banks
+    st.lists(event_strategy, min_size=0, max_size=120),
+    st.booleans(),  # carry value payloads at all
+)
+
+#: Chunk sizes deliberately overshoot the maximum trace length (120), so
+#: the whole-trace-in-one-chunk case is drawn as often as chunk=1.
+chunk_strategy = st.integers(min_value=1, max_value=300)
+
+
+def build_case(case) -> tuple[list[int], Trace]:
+    """Materialize a generated case as (bank_sizes, in-range trace)."""
+    num_banks, raw_events, with_values, = case
+    total_bytes = num_banks * BANK_BYTES
+    events = []
+    time = 0
+    for offset, is_write, gap, size, value in raw_events:
+        time += gap
+        events.append(
+            MemoryAccess(
+                time=time,
+                address=offset % total_bytes,
+                size=size,
+                kind=AccessKind.WRITE if is_write else AccessKind.READ,
+                value=value if with_values else None,
+            )
+        )
+    return [BANK_BYTES] * num_banks, Trace(events, name="prop")
+
+
+def packed(tmp_path_factory, trace: Trace, chunk_size: int):
+    """Pack ``trace`` into a fresh store; return its path."""
+    root = tmp_path_factory.mktemp("store")
+    return save_store(trace, root / "prop.tstore", chunk_size=chunk_size)
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace_strategy, chunk_strategy)
+def test_round_trip_is_bit_identical(tmp_path_factory, case, chunk_size):
+    _bank_sizes, trace = build_case(case)
+    path = packed(tmp_path_factory, trace, chunk_size)
+    loaded = load_store(path, verify=True)
+    assert len(loaded) == len(trace)
+    for want, got in zip(trace, loaded.to_trace()):
+        assert want == got
+    assert store_digest(path) == trace_digest(trace)
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace_strategy, chunk_strategy)
+def test_play_three_way_identical(tmp_path_factory, case, chunk_size):
+    bank_sizes, trace = build_case(case)
+    path = packed(tmp_path_factory, trace, chunk_size)
+    streamed = open_store(path)
+
+    memory_scalar = PartitionedMemory(bank_sizes)
+    memory_vector = PartitionedMemory(bank_sizes)
+    memory_stream = PartitionedMemory(bank_sizes)
+    report_scalar = memory_scalar.play_scalar(trace, include_leakage=True)
+    report_vector = memory_vector.play_vectorized(
+        trace.columnar(), include_leakage=True
+    )
+    report_stream = memory_stream.play_streamed(streamed, include_leakage=True)
+    assert report_scalar == report_vector == report_stream
+    assert (
+        memory_scalar.bank_access_counts()
+        == memory_vector.bank_access_counts()
+        == memory_stream.bank_access_counts()
+    )
+    assert [(b.reads, b.writes) for b in memory_scalar.banks] == [
+        (b.reads, b.writes) for b in memory_stream.banks
+    ]
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace_strategy, chunk_strategy, st.integers(min_value=0, max_value=300))
+def test_bank_sleep_three_way_identical(
+    tmp_path_factory, case, chunk_size, timeout_cycles
+):
+    bank_sizes, trace = build_case(case)
+    bank_bases = [i * BANK_BYTES for i in range(len(bank_sizes))]
+    policy = SleepPolicy(timeout_cycles=timeout_cycles)
+    path = packed(tmp_path_factory, trace, chunk_size)
+    streamed = open_store(path)
+
+    report_scalar = simulate_bank_sleep_scalar(bank_sizes, bank_bases, trace, policy)
+    report_columnar = simulate_bank_sleep_columnar(
+        bank_sizes, bank_bases, trace.columnar(), policy
+    )
+    report_streamed = simulate_bank_sleep_streamed(
+        bank_sizes, bank_bases, streamed, policy
+    )
+    assert report_scalar == report_columnar == report_streamed
+    assert report_scalar.leakage_saving == report_streamed.leakage_saving
+
+
+@settings(max_examples=150, deadline=None)
+@given(trace_strategy, chunk_strategy)
+def test_profile_three_way_identical(tmp_path_factory, case, chunk_size):
+    _bank_sizes, trace = build_case(case)
+    path = packed(tmp_path_factory, trace, chunk_size)
+    streamed = open_store(path)
+
+    scalar = AccessProfile.__new__(AccessProfile)
+    scalar.block_size = 32
+    scalar.trace = trace
+    scalar._stats = {}
+    scalar._sequence = []
+    scalar._build()
+    vectorized = AccessProfile(trace.columnar(), block_size=32)
+    from_stream = AccessProfile(streamed, block_size=32)
+    assert scalar._sequence == vectorized._sequence == from_stream._sequence
+    # Dict order is part of the contract: clustering breaks ties on it, so
+    # first-encounter order must survive chunk boundaries.
+    assert list(scalar._stats) == list(from_stream._stats)
+    for block, stats in scalar._stats.items():
+        other = from_stream._stats[block]
+        assert (stats.reads, stats.writes, stats.first_time, stats.last_time) == (
+            other.reads,
+            other.writes,
+            other.first_time,
+            other.last_time,
+        )
+    if len(trace) >= 2:
+        assert list(vectorized.affinity_matrix(8).items()) == list(
+            from_stream.affinity_matrix(8).items()
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace_strategy, chunk_strategy)
+def test_streamed_filters_match_scalar_filters(tmp_path_factory, case, chunk_size):
+    _bank_sizes, trace = build_case(case)
+    path = packed(tmp_path_factory, trace, chunk_size)
+    streamed = open_store(path)
+    for view in ("reads", "writes", "data_accesses"):
+        expected = getattr(trace, view)()
+        actual = getattr(streamed, view)().materialize().to_trace()
+        assert len(expected) == len(actual)
+        for want, got in zip(expected, actual):
+            assert want == got
